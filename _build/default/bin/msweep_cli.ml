@@ -1,0 +1,238 @@
+(* msweep: command-line driver for the MineSweeper reproduction.
+
+   Subcommands:
+     list                      enumerate available benchmarks
+     run -b BENCH -s SCHEME    run one benchmark under one scheme
+     compare -b BENCH          run all schemes and print overheads
+     figures [--only IDS]      regenerate paper figures (see bench/)
+     attack [-s SCHEME]        run the Figure-2 exploit scenarios
+     trace-gen -b BENCH -o F   derive a portable trace file from a profile
+     trace-replay -i F -s S    replay a trace file against a scheme *)
+
+open Cmdliner
+
+let suites =
+  [
+    ("spec2006", Workloads.Spec2006.all);
+    ("spec2017", Workloads.Spec2017.all);
+    ("mimalloc", Workloads.Mimalloc_bench.all);
+  ]
+
+let find_profile suite name =
+  let pool =
+    match List.assoc_opt suite suites with
+    | Some ps -> ps
+    | None -> invalid_arg ("unknown suite " ^ suite)
+  in
+  try List.find (fun p -> p.Workloads.Profile.name = name) pool
+  with Not_found -> invalid_arg ("unknown benchmark " ^ name)
+
+let scheme_of_string = function
+  | "baseline" -> Workloads.Harness.Baseline
+  | "minesweeper" | "ms" ->
+    Workloads.Harness.Mine_sweeper Minesweeper.Config.default
+  | "mostly" ->
+    Workloads.Harness.Mine_sweeper Minesweeper.Config.mostly_concurrent
+  | "markus" -> Workloads.Harness.Mark_us
+  | "ffmalloc" | "ff" -> Workloads.Harness.Ff_malloc
+  | "dlmalloc" -> Workloads.Harness.Dl_baseline
+  | "dlmalloc-minesweeper" | "dl-ms" ->
+    Workloads.Harness.Dl_sweeper Minesweeper.Config.default
+  | "crcount" -> Workloads.Harness.Cr_count
+  | "psweeper" -> Workloads.Harness.P_sweeper
+  | "dangsan" -> Workloads.Harness.Dang_san
+  | "scudo" -> Workloads.Harness.Scudo_baseline
+  | "scudo-minesweeper" | "scudo-ms" ->
+    Workloads.Harness.Scudo_sweeper Minesweeper.Config.default
+  | s -> invalid_arg ("unknown scheme " ^ s)
+
+let mb x = float_of_int x /. 1048576.
+
+let print_result (r : Workloads.Driver.result) =
+  Fmt.pr "benchmark      %s@." r.benchmark;
+  Fmt.pr "scheme         %s@." r.scheme;
+  Fmt.pr "wall           %d cycles@." r.wall;
+  Fmt.pr "app busy       %d cycles@." r.app_busy;
+  Fmt.pr "bg busy        %d cycles@." r.background_busy;
+  Fmt.pr "stalled        %d cycles@." r.stalled;
+  Fmt.pr "cpu util       %.3f@." r.cpu_utilisation;
+  Fmt.pr "avg rss        %.2f MiB@." (r.avg_rss /. 1048576.);
+  Fmt.pr "peak rss       %.2f MiB@." (mb r.peak_rss);
+  Fmt.pr "sweeps         %d@." r.sweeps;
+  Fmt.pr "failed frees   %d@." r.failed_frees;
+  Fmt.pr "allocs/frees   %d/%d@." r.allocations r.frees;
+  Fmt.pr "live at end    %.2f MiB@." (mb r.live_bytes_end);
+  List.iter (fun (k, v) -> Fmt.pr "%-14s %.0f@." k v) r.extra
+
+let suite_arg =
+  Arg.(value & opt string "spec2006" & info [ "suite" ] ~doc:"Benchmark suite")
+
+let bench_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "b"; "bench" ] ~doc:"Benchmark name")
+
+let scheme_arg =
+  Arg.(
+    value & opt string "minesweeper"
+    & info [ "s"; "scheme" ]
+        ~doc:"Scheme: baseline, minesweeper, mostly, markus, ffmalloc")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Trace length scale")
+
+let list_cmd =
+  let doc = "List available benchmarks" in
+  let f () =
+    List.iter
+      (fun (suite, ps) ->
+        Fmt.pr "%s:@." suite;
+        List.iter (fun p -> Fmt.pr "  %s@." p.Workloads.Profile.name) ps)
+      suites
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
+
+let run_cmd =
+  let doc = "Run one benchmark under one scheme" in
+  let f suite bench scheme scale =
+    let profile = find_profile suite bench in
+    let r =
+      Workloads.Driver.run ~ops_scale:scale profile (scheme_of_string scheme)
+    in
+    print_result r
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg)
+
+let compare_cmd =
+  let doc = "Run all schemes on a benchmark and print overheads" in
+  let f suite bench scale =
+    let profile = find_profile suite bench in
+    let run s = Workloads.Driver.run ~ops_scale:scale profile s in
+    let baseline = run Workloads.Harness.Baseline in
+    Fmt.pr "%-22s %9s %9s %9s %8s %7s %7s@." bench "slowdown" "mem" "peak"
+      "cpu" "sweeps" "failed";
+    Fmt.pr "%-22s %9.3f %9.3f %9.3f %8.3f %7d %7d@." "baseline" 1.0 1.0 1.0
+      baseline.cpu_utilisation 0 0;
+    List.iter
+      (fun scheme ->
+        let r = run scheme in
+        Fmt.pr "%-22s %9.3f %9.3f %9.3f %8.3f %7d %7d@." r.scheme
+          (Workloads.Driver.slowdown ~baseline r)
+          (Workloads.Driver.memory_overhead ~baseline r)
+          (Workloads.Driver.peak_memory_overhead ~baseline r)
+          r.cpu_utilisation r.sweeps r.failed_frees)
+      [
+        Workloads.Harness.Mine_sweeper Minesweeper.Config.default;
+        Workloads.Harness.Mine_sweeper Minesweeper.Config.mostly_concurrent;
+        Workloads.Harness.Mark_us;
+        Workloads.Harness.Ff_malloc;
+      ]
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const f $ suite_arg $ bench_arg $ scale_arg)
+
+let figures_cmd =
+  let doc = "Regenerate the paper's tables and figures" in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~doc:"Comma-separated figure ids (fig1..fig19, scudo, ...)")
+  in
+  let f only scale =
+    let env = Experiments.make_env ~scale ~verbose:true () in
+    let wanted =
+      match only with
+      | None -> (fun _ -> true)
+      | Some s ->
+        let ids = String.split_on_char ',' s in
+        fun key -> List.mem key ids
+    in
+    List.iter
+      (fun (key, render) -> if wanted key then print_string (render env))
+      Experiments.all_figures
+  in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const f $ only_arg $ scale_arg)
+
+let attack_cmd =
+  let doc = "Run the use-after-free exploit scenarios against a scheme" in
+  let f scheme =
+    let fresh () =
+      let machine = Alloc.Machine.create () in
+      List.iter
+        (fun (base, size) ->
+          Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+        Layout.root_regions;
+      Workloads.Harness.build (scheme_of_string scheme) ~threads:1 machine
+    in
+    Fmt.pr "scheme: %s@." scheme;
+    Fmt.pr "  vtable hijack      %s@."
+      (Attack.describe (Attack.vtable_hijack (fresh ())));
+    Fmt.pr "  double-free hijack %s@."
+      (Attack.describe (Attack.double_free_hijack (fresh ())));
+    Fmt.pr "  unlink corruption  %s@."
+      (Attack.describe (Attack.unlink_corruption (fresh ())));
+    Fmt.pr "  reuse after clear  %b@." (Attack.reuse_after_clear (fresh ()))
+  in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const f $ scheme_arg)
+
+let trace_gen_cmd =
+  let doc = "Generate a portable trace file from a benchmark profile" in
+  let out_arg =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "out" ] ~doc:"Output file")
+  in
+  let f suite bench scale out =
+    let profile = find_profile suite bench in
+    let profile =
+      if scale = 1.0 then profile else Workloads.Profile.scale_ops scale profile
+    in
+    let trace = Workloads.Trace.generate profile in
+    Workloads.Trace.to_file trace out;
+    Fmt.pr "wrote %s: %d ops (%d allocations)@." out
+      (Workloads.Trace.length trace)
+      (Workloads.Trace.allocation_count trace)
+  in
+  Cmd.v (Cmd.info "trace-gen" ~doc)
+    Term.(const f $ suite_arg $ bench_arg $ scale_arg $ out_arg)
+
+let trace_replay_cmd =
+  let doc = "Replay a trace file against an allocator scheme" in
+  let in_arg =
+    Arg.(
+      required & opt (some string) None & info [ "i"; "in" ] ~doc:"Trace file")
+  in
+  let f input scheme =
+    let trace = Workloads.Trace.of_file input in
+    let machine = Alloc.Machine.create () in
+    List.iter
+      (fun (base, size) ->
+        Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+      Layout.root_regions;
+    let stack =
+      Workloads.Harness.build (scheme_of_string scheme) ~threads:1 machine
+    in
+    let executed = Workloads.Trace.replay trace stack in
+    Fmt.pr "replayed %d ops of %s under %s@." executed
+      trace.Workloads.Trace.name stack.Workloads.Harness.scheme;
+    Fmt.pr "wall %d cycles, cpu util %.3f, rss %.2f MiB, sweeps %d@."
+      (Sim.Clock.wall machine.Alloc.Machine.clock)
+      (Sim.Clock.cpu_utilisation machine.Alloc.Machine.clock)
+      (float_of_int (Vmem.committed_bytes machine.Alloc.Machine.mem)
+      /. 1048576.)
+      (stack.Workloads.Harness.sweeps ())
+  in
+  Cmd.v (Cmd.info "trace-replay" ~doc) Term.(const f $ in_arg $ scheme_arg)
+
+let () =
+  let doc = "MineSweeper reproduction driver" in
+  let info = Cmd.info "msweep" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; compare_cmd; figures_cmd; attack_cmd;
+            trace_gen_cmd; trace_replay_cmd;
+          ]))

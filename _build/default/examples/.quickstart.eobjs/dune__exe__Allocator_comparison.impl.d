@@ -1,0 +1,1 @@
+examples/allocator_comparison.ml: Array Fmt List Minesweeper Report Sys Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Fmt Layout Minesweeper Vmem

@@ -1,0 +1,1 @@
+examples/server_cache.ml: Alloc Array Fmt Layout List Minesweeper Sim Vmem Workloads

@@ -1,0 +1,1 @@
+examples/trace_workflow.ml: Alloc Filename Fmt Layout List Minesweeper Sim Sys Vmem Workloads

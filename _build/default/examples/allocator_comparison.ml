@@ -1,0 +1,60 @@
+(* Compare all schemes on one SPEC benchmark and render the results the
+   way the paper's figures do.
+
+   Run with: dune exec examples/allocator_comparison.exe [benchmark]
+   (default: xalancbmk, the paper's stress case). *)
+
+let () =
+  let bench =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "xalancbmk"
+  in
+  let profile = Workloads.Spec2006.find bench in
+  Fmt.pr "running %s under every scheme (this simulates the full trace)...@.@."
+    bench;
+  let run scheme = Workloads.Driver.run profile scheme in
+  let baseline = run Workloads.Harness.Baseline in
+  let schemes =
+    [
+      Workloads.Harness.Mine_sweeper Minesweeper.Config.default;
+      Workloads.Harness.Mine_sweeper Minesweeper.Config.mostly_concurrent;
+      Workloads.Harness.Mark_us;
+      Workloads.Harness.Ff_malloc;
+    ]
+  in
+  let results = List.map run schemes in
+  let table =
+    Report.Table.create
+      ~columns:[ "scheme"; "slowdown"; "memory"; "peak"; "cpu"; "sweeps" ]
+  in
+  Report.Table.add_row table "baseline" [ 1.0; 1.0; 1.0; 1.0; 0.0 ];
+  List.iter
+    (fun (r : Workloads.Driver.result) ->
+      Report.Table.add_row table r.scheme
+        [
+          Workloads.Driver.slowdown ~baseline r;
+          Workloads.Driver.memory_overhead ~baseline r;
+          Workloads.Driver.peak_memory_overhead ~baseline r;
+          r.cpu_utilisation;
+          float_of_int r.sweeps;
+        ])
+    results;
+  print_string (Report.Table.render table);
+  Fmt.pr "@.slowdown (bars):@.";
+  print_string
+    (Report.Chart.bars
+       (List.map
+          (fun (r : Workloads.Driver.result) ->
+            (r.scheme, Workloads.Driver.slowdown ~baseline r))
+          results));
+  Fmt.pr "@.memory over normalised time:@.";
+  print_string
+    (Report.Chart.line
+       ~series:
+         (List.map
+            (fun (r : Workloads.Driver.result) ->
+              ( r.scheme,
+                Array.map
+                  (fun (x, rss) -> (x, float_of_int rss /. 1048576.))
+                  r.rss_trace ))
+            (baseline :: results))
+       ())

@@ -1,0 +1,1 @@
+lib/alloc/backends.ml: Backend Dlmalloc Jemalloc Scudo

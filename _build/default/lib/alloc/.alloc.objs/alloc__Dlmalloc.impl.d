@@ -1,0 +1,1 @@
+lib/alloc/dlmalloc.ml: Array Extent Machine Sim Vmem

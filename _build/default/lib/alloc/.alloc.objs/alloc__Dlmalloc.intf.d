@@ -1,0 +1,1 @@
+lib/alloc/dlmalloc.mli: Extent Machine

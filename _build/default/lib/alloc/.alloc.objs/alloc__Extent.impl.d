@@ -1,0 +1,1 @@
+lib/alloc/extent.ml: Int Layout List Machine Map Seq Sim Vmem

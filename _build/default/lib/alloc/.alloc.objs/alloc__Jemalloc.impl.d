@@ -1,0 +1,1 @@
+lib/alloc/jemalloc.ml: Array Extent Fun Hashtbl List Machine Sim Size_class Vmem

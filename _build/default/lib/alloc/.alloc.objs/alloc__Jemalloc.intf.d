@@ -1,0 +1,1 @@
+lib/alloc/jemalloc.mli: Extent Machine

@@ -1,0 +1,1 @@
+lib/alloc/machine.ml: Fun Sim Vmem

@@ -1,0 +1,1 @@
+lib/alloc/machine.mli: Sim Vmem

@@ -1,0 +1,1 @@
+lib/alloc/scudo.ml: Array Jemalloc Machine Sim

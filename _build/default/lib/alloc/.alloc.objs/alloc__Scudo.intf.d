@@ -1,0 +1,1 @@
+lib/alloc/scudo.mli: Extent Machine

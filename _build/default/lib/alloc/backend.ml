@@ -1,0 +1,33 @@
+(** The allocator interface MineSweeper layers over.
+
+    The quarantine is allocator-agnostic (Section 3): it only needs the
+    public allocation entry points plus three integration hooks — a way
+    to bound the heap (for cheap pointer filtering during sweeps), the
+    extent hooks that let purged memory be protected out of sweeps, and
+    explicit purge control for the post-sweep cleanup of Section 4.5.
+    [Jemalloc] implements this signature; [Scudo] is the second backend
+    the paper reports (Section 7). *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : ?extra_byte:bool -> Machine.t -> t
+  (** [extra_byte] enables the +1-byte modification that keeps C/C++
+      one-past-the-end pointers inside the same allocation. *)
+
+  val malloc : t -> int -> int
+  val free : t -> int -> unit
+  val usable_size : t -> int -> int
+
+  val live_bytes : t -> int
+  (** The heap-size measure quarantine thresholds compare against. *)
+
+  val wilderness : t -> int
+  (** Upper bound of the heap: sweeps reject word values above it. *)
+
+  val set_extent_hooks : t -> Extent.hooks -> unit
+  val purge_tick : t -> unit
+  val purge_all : t -> unit
+end

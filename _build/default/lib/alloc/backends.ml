@@ -1,0 +1,46 @@
+(** {!Backend.S} adapters for the concrete allocators. *)
+
+module Jemalloc_backend : Backend.S with type t = Jemalloc.t = struct
+  type t = Jemalloc.t
+
+  let name = "jemalloc"
+  let create ?extra_byte machine = Jemalloc.create ?extra_byte machine
+  let malloc = Jemalloc.malloc
+  let free = Jemalloc.free
+  let usable_size = Jemalloc.usable_size
+  let live_bytes = Jemalloc.live_bytes
+  let wilderness = Jemalloc.wilderness
+  let set_extent_hooks = Jemalloc.set_extent_hooks
+  let purge_tick = Jemalloc.purge_tick
+  let purge_all = Jemalloc.purge_all
+end
+
+module Scudo_backend : Backend.S with type t = Scudo.t = struct
+  type t = Scudo.t
+
+  let name = Scudo.name
+  let create = Scudo.create
+  let malloc = Scudo.malloc
+  let free = Scudo.free
+  let usable_size = Scudo.usable_size
+  let live_bytes = Scudo.live_bytes
+  let wilderness = Scudo.wilderness
+  let set_extent_hooks = Scudo.set_extent_hooks
+  let purge_tick = Scudo.purge_tick
+  let purge_all = Scudo.purge_all
+end
+
+module Dlmalloc_backend : Backend.S with type t = Dlmalloc.t = struct
+  type t = Dlmalloc.t
+
+  let name = Dlmalloc.name
+  let create = Dlmalloc.create
+  let malloc = Dlmalloc.malloc
+  let free = Dlmalloc.free
+  let usable_size = Dlmalloc.usable_size
+  let live_bytes = Dlmalloc.live_bytes
+  let wilderness = Dlmalloc.wilderness
+  let set_extent_hooks = Dlmalloc.set_extent_hooks
+  let purge_tick = Dlmalloc.purge_tick
+  let purge_all = Dlmalloc.purge_all
+end

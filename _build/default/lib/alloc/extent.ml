@@ -1,0 +1,148 @@
+let page = Vmem.page_size
+
+type hooks = {
+  on_decommit : addr:int -> pages:int -> unit;
+  on_commit : addr:int -> pages:int -> unit;
+}
+
+let default_hooks = {
+  on_decommit = (fun ~addr:_ ~pages:_ -> ());
+  on_commit = (fun ~addr:_ ~pages:_ -> ());
+}
+
+type range = {
+  pages : int;
+  committed : bool;
+  dirty_since : int; (* wall cycles when retained; meaningful if committed *)
+}
+
+module Addr_map = Map.Make (Int)
+
+type t = {
+  machine : Machine.t;
+  decay_cycles : int;
+  mutable hooks : hooks;
+  mutable retained : range Addr_map.t; (* keyed by base address *)
+  mutable brk : int;
+  mutable used_bytes : int;
+  mutable retained_total : int;
+  mutable retained_dirty : int;
+}
+
+let create ?(decay_cycles = 2_500_000) machine =
+  {
+    machine;
+    decay_cycles;
+    hooks = default_hooks;
+    retained = Addr_map.empty;
+    brk = Layout.heap_base;
+    used_bytes = 0;
+    retained_total = 0;
+    retained_dirty = 0;
+  }
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let syscall t = Machine.charge t.machine t.machine.Machine.cost.Sim.Cost.syscall
+
+let take_from_retained t base r ~pages =
+  (* Serve the request from the front of [r]; re-retain any remainder. *)
+  t.retained <- Addr_map.remove base t.retained;
+  t.retained_total <- t.retained_total - (r.pages * page);
+  if r.committed then t.retained_dirty <- t.retained_dirty - (r.pages * page);
+  if r.pages > pages then begin
+    let rest_base = base + (pages * page) in
+    let rest = { r with pages = r.pages - pages } in
+    t.retained <- Addr_map.add rest_base rest t.retained;
+    t.retained_total <- t.retained_total + (rest.pages * page);
+    if rest.committed then t.retained_dirty <- t.retained_dirty + (rest.pages * page)
+  end;
+  let len = pages * page in
+  if r.committed then
+    (* Dirty reuse: hand the (zeroed-below) range straight back. *)
+    Vmem.zero_range t.machine.Machine.mem ~addr:base ~len
+  else begin
+    Vmem.commit t.machine.Machine.mem ~addr:base ~len;
+    syscall t;
+    t.hooks.on_commit ~addr:base ~pages
+  end;
+  t.used_bytes <- t.used_bytes + len;
+  base
+
+let alloc t ~pages =
+  assert (pages > 0);
+  (* First fit in address order keeps reuse at low addresses (JeMalloc's
+     policy), which limits fragmentation of the retained set. *)
+  let found =
+    Addr_map.to_seq t.retained
+    |> Seq.find (fun (_, r) -> r.pages >= pages)
+  in
+  match found with
+  | Some (base, r) -> take_from_retained t base r ~pages
+  | None ->
+    let base = t.brk in
+    let len = pages * page in
+    t.brk <- t.brk + len;
+    assert (t.brk <= Layout.heap_limit);
+    Vmem.map t.machine.Machine.mem ~addr:base ~len;
+    syscall t;
+    t.used_bytes <- t.used_bytes + len;
+    base
+
+let add_retained t base r =
+  t.retained <- Addr_map.add base r t.retained;
+  t.retained_total <- t.retained_total + (r.pages * page);
+  if r.committed then t.retained_dirty <- t.retained_dirty + (r.pages * page)
+
+let remove_retained t base r =
+  t.retained <- Addr_map.remove base t.retained;
+  t.retained_total <- t.retained_total - (r.pages * page);
+  if r.committed then t.retained_dirty <- t.retained_dirty - (r.pages * page)
+
+let dalloc t ~addr ~pages =
+  assert (pages > 0);
+  t.used_bytes <- t.used_bytes - (pages * page);
+  let r = { pages; committed = true; dirty_since = Machine.now t.machine } in
+  (* Coalesce with committed neighbours so large reusable runs re-form;
+     mixed commit states are left split to keep the model simple. *)
+  let r, addr =
+    match Addr_map.find_last_opt (fun b -> b < addr) t.retained with
+    | Some (b, prev) when b + (prev.pages * page) = addr && prev.committed ->
+      remove_retained t b prev;
+      ({ r with pages = prev.pages + r.pages; dirty_since = prev.dirty_since }, b)
+    | Some _ | None -> (r, addr)
+  in
+  let r =
+    match Addr_map.find_opt (addr + (r.pages * page)) t.retained with
+    | Some next when next.committed ->
+      remove_retained t (addr + (r.pages * page)) next;
+      { r with pages = r.pages + next.pages }
+    | Some _ | None -> r
+  in
+  add_retained t addr r
+
+let purge_range t base r =
+  remove_retained t base r;
+  Vmem.decommit t.machine.Machine.mem ~addr:base ~len:(r.pages * page);
+  syscall t;
+  t.hooks.on_decommit ~addr:base ~pages:r.pages;
+  add_retained t base { r with committed = false }
+
+let purge_matching t pred =
+  let victims =
+    Addr_map.fold
+      (fun base r acc -> if r.committed && pred r then (base, r) :: acc else acc)
+      t.retained []
+  in
+  List.iter (fun (base, r) -> purge_range t base r) victims
+
+let purge_tick t =
+  let now = Machine.now t.machine in
+  purge_matching t (fun r -> now - r.dirty_since >= t.decay_cycles)
+
+let purge_all t = purge_matching t (fun _ -> true)
+
+let retained_bytes t = t.retained_total
+let retained_dirty_bytes t = t.retained_dirty
+let heap_used_bytes t = t.used_bytes
+let wilderness t = t.brk

@@ -1,0 +1,54 @@
+(** Extent management: page-granularity ranges of heap address space.
+
+    Extents back both slabs and large allocations. Freed extents are
+    retained (address space is kept mapped) and reused; retained extents
+    that stay dirty past the decay deadline are purged — their physical
+    pages are released, mirroring JeMalloc's decay-based [madvise]
+    purging. MineSweeper replaces the default purge behaviour through the
+    {!hooks} (Section 4.5: decommit/commit pairs instead of
+    purge/demand-allocation). *)
+
+type hooks = {
+  on_decommit : addr:int -> pages:int -> unit;
+      (** Runs after physical pages of a retained extent are discarded.
+          MineSweeper uses this to protect the range and record it in the
+          unmapped-shadow bitmap. *)
+  on_commit : addr:int -> pages:int -> unit;
+      (** Runs after a previously decommitted extent is recommitted for
+          reuse, before it is handed out. *)
+}
+
+val default_hooks : hooks
+
+type t
+
+val create : ?decay_cycles:int -> Machine.t -> t
+(** [decay_cycles] is the age after which a dirty retained extent is
+    purged by {!purge_tick} (JeMalloc's 10-second decay curve, scaled to
+    simulated cycles). *)
+
+val set_hooks : t -> hooks -> unit
+
+val alloc : t -> pages:int -> int
+(** Returns the base address of a zero-filled, committed extent. Reuses
+    retained address space when possible (coalescing first-fit),
+    otherwise extends the heap break. *)
+
+val dalloc : t -> addr:int -> pages:int -> unit
+(** Retain an extent for reuse. The range stays committed ("dirty")
+    until purged. *)
+
+val purge_tick : t -> unit
+(** Purge retained extents whose decay deadline has passed. *)
+
+val purge_all : t -> unit
+(** Purge every dirty retained extent immediately (MineSweeper's
+    post-sweep full purge). *)
+
+val retained_bytes : t -> int
+val retained_dirty_bytes : t -> int
+val heap_used_bytes : t -> int
+(** Total address space handed out and not retained. *)
+
+val wilderness : t -> int
+(** Current heap break — all extents live below this address. *)

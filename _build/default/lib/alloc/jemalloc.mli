@@ -1,0 +1,65 @@
+(** A JeMalloc-model allocator over the simulated address space.
+
+    Size-classed slabs with a thread cache for small requests, whole-page
+    extents for large ones, retained-extent reuse and decay purging. The
+    structural properties MineSweeper depends on are reproduced:
+    metadata lives out-of-band (in OCaml values, not in the simulated
+    memory), freed memory is recycled by address-ordered extent reuse,
+    and the extent life-cycle is steerable through {!Extent.hooks}.
+
+    The [extra_byte] option implements the paper's modified JeMalloc that
+    serves every request one byte larger, so C/C++ one-past-the-end
+    pointers land inside the same allocation's shadow range. *)
+
+type t
+
+val create : ?extra_byte:bool -> ?decay_cycles:int -> Machine.t -> t
+
+val malloc : t -> int -> int
+(** [malloc t size] returns the address of a zero-filled allocation of at
+    least [size] bytes (plus the extra byte when enabled). *)
+
+val free : t -> int -> unit
+(** Return an allocation. The address must be one returned by {!malloc}
+    and still live; anything else is a simulation bug and asserts. *)
+
+val usable_size : t -> int -> int
+(** Usable bytes backing the allocation at this address. *)
+
+val is_live : t -> int -> bool
+(** Whether the address is a currently live allocation (used by tests and
+    by the exploit checker; not part of the C API). *)
+
+val allocation_containing : t -> int -> (int * int) option
+(** [allocation_containing t addr] resolves an interior pointer to the
+    [(base, usable)] of the slab slot or large extent containing it —
+    what a conservative collector needs to mark whole allocations. The
+    slot need not be live (conservative marking does not know). *)
+
+val live_bytes : t -> int
+(** Sum of usable sizes over live allocations — the heap-size measure the
+    quarantine threshold compares against. *)
+
+val live_allocations : t -> int
+
+val set_extent_hooks : t -> Extent.hooks -> unit
+val purge_tick : t -> unit
+val purge_all : t -> unit
+
+val retained_dirty_bytes : t -> int
+val machine : t -> Machine.t
+
+val wilderness : t -> int
+(** Heap break of the underlying extent allocator: every heap pointer is
+    below this, so sweeps can cheaply reject non-heap word values. *)
+
+type stats = {
+  mallocs : int;
+  frees : int;
+  live : int;
+  live_bytes : int;
+  slab_count : int;
+  large_count : int;
+}
+
+val stats : t -> stats

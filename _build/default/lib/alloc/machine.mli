@@ -1,0 +1,34 @@
+(** Shared simulation context: memory + clock + cost model.
+
+    Every component charges cycles through the machine; the [sink]
+    selects which thread pays. The application thread pays [`App] costs
+    as wall time, sweeper threads pay [`Background] costs that overlap
+    the application, and [`Stall] charges wall time without busy time
+    (stop-the-world pauses, allocation pauses). *)
+
+type sink =
+  | App
+  | Background
+  | Stall
+
+type t = {
+  mem : Vmem.t;
+  cost : Sim.Cost.t;
+  clock : Sim.Clock.t;
+  mutable sink : sink;
+}
+
+val create : ?cost:Sim.Cost.t -> unit -> t
+(** Builds the machine and installs a demand-commit hook that charges
+    page-fault costs to the current sink. *)
+
+val charge : t -> int -> unit
+
+val charge_bytes : t -> float -> int -> unit
+(** [charge_bytes t per_byte n] charges a streaming cost. *)
+
+val with_sink : t -> sink -> (unit -> 'a) -> 'a
+(** Run a closure with a temporarily switched sink. *)
+
+val now : t -> int
+(** Wall-clock position in cycles. *)

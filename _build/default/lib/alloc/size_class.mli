@@ -1,0 +1,30 @@
+(** JeMalloc-style size classes.
+
+    Small requests are rounded up to one of a fixed set of classes (four
+    classes per power-of-two group, as in JeMalloc); each class is served
+    from slabs of a few pages. Requests above {!small_max} are "large"
+    and rounded to whole pages. *)
+
+val small_max : int
+(** Largest small class (14336 B, 3.5 pages — JeMalloc's boundary). *)
+
+val count : int
+(** Number of small classes. *)
+
+val size_of_class : int -> int
+(** [size_of_class i] is the allocation size of class [i < count]. *)
+
+val class_of_size : int -> int
+(** [class_of_size sz] is the smallest class index whose size is
+    [>= sz]. [sz] must be in [1, small_max]. *)
+
+val slab_pages : int -> int
+(** Pages per slab for the class, chosen to keep per-slab waste low. *)
+
+val slab_slots : int -> int
+(** Objects per slab for the class. *)
+
+val large_pages : int -> int
+(** [large_pages sz] is the page count backing a large request. *)
+
+val is_small : int -> bool

@@ -1,0 +1,57 @@
+(** Use-after-free exploitation scenarios (Listing 1 / Figure 2).
+
+    The classic attack: the program erroneously frees an object but keeps
+    a dangling pointer; the attacker sprays allocations of the same size,
+    filling them with a fake virtual-function table; when the program
+    later calls through the dangling pointer, it dispatches into
+    attacker-controlled code.
+
+    These scenarios run the attack against any allocator stack and
+    classify the outcome. Under plain JeMalloc the spray wins (the freed
+    slot is recycled almost immediately). Under MineSweeper the dangling
+    pointer keeps the object in quarantine, so the attacker can never
+    alias it: the load returns benign (zeroed) data or faults cleanly —
+    exactly the "use-after-reallocate becomes benign use-after-free or
+    clean termination" guarantee of Section 1.2. *)
+
+type outcome =
+  | Exploited
+      (** the dangling read observed attacker-written data: the freed
+          object was re-allocated to the attacker *)
+  | Prevented_fault
+      (** the access faulted (memory unmapped/protected): clean
+          termination *)
+  | Benign
+      (** the access read stale or zeroed data: harmless use-after-free *)
+
+val describe : outcome -> string
+
+val vtable_hijack : ?spray:int -> Workloads.Harness.t -> outcome
+(** Run the Figure 2 attack with [spray] attacker allocations (default
+    4096). The dangling pointer is stored in a root slot, so sweeps can
+    see it. *)
+
+val double_free_hijack : ?spray:int -> Workloads.Harness.t -> outcome
+(** Variant where the program frees the victim twice before the spray —
+    exercises the quarantine's double-free idempotence. The stack's
+    [free] must tolerate the second call (MineSweeper does; for unsafe
+    stacks the scenario skips the second free). *)
+
+val unlink_corruption : Workloads.Harness.t -> outcome
+(** The classic unlink exploit against in-band allocator metadata
+    (Section 2, footnote 2): a use-after-free {e write} forges the freed
+    chunk's free-list links so the next unlink performs an arbitrary
+    write over a "credential" global. Returns [Exploited] when the
+    credential was clobbered — which happens under the dlmalloc model,
+    and must not happen under MineSweeper (quarantine defers the
+    free-list insertion; zeroing destroys forged links) or under
+    allocators with out-of-band metadata. *)
+
+val describe_unlink : outcome -> string
+(** Outcome text specific to {!unlink_corruption}. *)
+
+val reuse_after_clear : ?churn:int -> Workloads.Harness.t -> bool
+(** The healthy-program counterpart: free an object, later overwrite the
+    last pointer to it, keep allocating. Returns [true] once the victim's
+    address is eventually served again — showing quarantine releases
+    memory as soon as it is provably safe (no leak-forever). *)

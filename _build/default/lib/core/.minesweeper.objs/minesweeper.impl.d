@@ -1,0 +1,1 @@
+lib/core/minesweeper.ml: Config Event_log Instance Quarantine Shadow Stats

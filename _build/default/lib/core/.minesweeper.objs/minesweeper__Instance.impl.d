@@ -1,0 +1,1 @@
+lib/core/instance.ml: Alloc Bytes Config Event_log Hashtbl Instance_intf Int64 Layout List Logs Quarantine Shadow Sim Stats Vmem

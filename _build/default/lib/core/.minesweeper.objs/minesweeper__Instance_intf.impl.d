@@ -1,0 +1,1 @@
+lib/core/instance_intf.ml: Alloc Config Event_log Stats

@@ -1,0 +1,1 @@
+lib/core/quarantine.ml: Alloc Array Hashtbl List Sim

@@ -1,0 +1,113 @@
+type concurrency =
+  | Sequential
+  | Concurrent of { helpers : int; stop_the_world : bool }
+
+type t = {
+  quarantining : bool;
+  zeroing : bool;
+  unmapping : bool;
+  sweeping : bool;
+  keep_failed : bool;
+  purging : bool;
+  concurrency : concurrency;
+  threshold : float;
+  threshold_min_bytes : int;
+  unmap_factor : float;
+  pause_factor : float;
+  shadow_granule : int;
+  debug_double_free : bool;
+}
+
+let default = {
+  quarantining = true;
+  zeroing = true;
+  unmapping = true;
+  sweeping = true;
+  keep_failed = true;
+  purging = true;
+  concurrency = Concurrent { helpers = 6; stop_the_world = false };
+  threshold = 0.15;
+  threshold_min_bytes = 128 * 1024;
+  unmap_factor = 9.0;
+  pause_factor = 1.0;
+  shadow_granule = 16;
+  debug_double_free = false;
+}
+
+let mostly_concurrent =
+  { default with concurrency = Concurrent { helpers = 6; stop_the_world = true } }
+
+(* Cumulative optimisation levels, in the paper's order of estimated
+   importance (Section 5.4). *)
+let unoptimised = {
+  default with
+  zeroing = false;
+  unmapping = false;
+  purging = false;
+  concurrency = Sequential;
+}
+
+let plus_zeroing = { unoptimised with zeroing = true }
+let plus_unmapping = { plus_zeroing with unmapping = true }
+
+let plus_concurrency =
+  { plus_unmapping with
+    concurrency = Concurrent { helpers = 6; stop_the_world = false } }
+
+let plus_purging = { plus_concurrency with purging = true }
+
+let optimisation_levels =
+  [
+    ("Unoptimised", unoptimised);
+    ("+ Zeroing", plus_zeroing);
+    ("+ Unmapping", plus_unmapping);
+    ("+ Concurrency", plus_concurrency);
+    ("+ Purging", plus_purging);
+  ]
+
+(* Partial versions for the source-of-overheads study (Section 5.5). *)
+let partial_base = {
+  default with
+  quarantining = false;
+  zeroing = false;
+  unmapping = false;
+  sweeping = false;
+  purging = false;
+}
+
+let partial_unmap_zero = { partial_base with zeroing = true; unmapping = true }
+
+let partial_quarantine =
+  { partial_unmap_zero with quarantining = true;
+    sweeping = false; concurrency = Sequential }
+
+let partial_concurrency =
+  { partial_quarantine with
+    concurrency = Concurrent { helpers = 6; stop_the_world = false } }
+
+let partial_sweep = { partial_concurrency with sweeping = true; keep_failed = false }
+let partial_full = { partial_sweep with keep_failed = true; purging = true }
+
+let partial_versions =
+  [
+    ("Base overheads", partial_base);
+    ("+ Unmapping + Zeroing", partial_unmap_zero);
+    ("+ Quarantine", partial_quarantine);
+    ("+ Concurrency", partial_concurrency);
+    ("+ Sweep", partial_sweep);
+    ("+ Failed Frees", partial_full);
+  ]
+
+let pp ppf t =
+  let concurrency =
+    match t.concurrency with
+    | Sequential -> "sequential"
+    | Concurrent { helpers; stop_the_world } ->
+      Printf.sprintf "concurrent(helpers=%d%s)" helpers
+        (if stop_the_world then ", stw" else "")
+  in
+  Format.fprintf ppf
+    "{quarantine=%b zero=%b unmap=%b sweep=%b keep_failed=%b purge=%b %s \
+     threshold=%.2f}"
+    t.quarantining t.zeroing t.unmapping t.sweeping t.keep_failed t.purging
+    concurrency t.threshold

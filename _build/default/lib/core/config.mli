@@ -1,0 +1,78 @@
+(** MineSweeper configuration: operation modes, feature toggles and
+    thresholds.
+
+    Besides the two shipping modes (fully and mostly concurrent), the
+    toggles expose every intermediate design point evaluated in the
+    paper: the cumulative optimisation levels of Section 5.4
+    (Figures 15/16) and the partial "source of overheads" versions of
+    Section 5.5 (Figure 17). *)
+
+type concurrency =
+  | Sequential  (** sweep and recycle in the application thread *)
+  | Concurrent of { helpers : int; stop_the_world : bool }
+      (** dedicated sweeper thread plus [helpers] helper threads;
+          [stop_the_world] adds the mostly-concurrent dirty-page re-scan *)
+
+type t = {
+  quarantining : bool;
+      (** [false]: frees forward straight to the allocator (partial
+          versions 1–2 of Section 5.5) *)
+  zeroing : bool;  (** zero-fill freed data (Section 4.1) *)
+  unmapping : bool;
+      (** release physical pages of page-spanning quarantined
+          allocations (Section 4.2) *)
+  sweeping : bool;
+      (** [false]: "sweeps" recycle everything without scanning memory
+          (partial versions 3–4) *)
+  keep_failed : bool;
+      (** [false]: release allocations even when dangling pointers were
+          found (partial version 5) *)
+  purging : bool;  (** full allocator purge after each sweep (Section 4.5) *)
+  concurrency : concurrency;
+  threshold : float;
+      (** sweep when pending quarantine exceeds this fraction of the
+          heap (paper default 15 %) *)
+  threshold_min_bytes : int;
+      (** floor below which the quarantine never triggers a sweep *)
+  unmap_factor : float;
+      (** also sweep when unmapped quarantine exceeds this multiple of
+          the resident footprint (paper: 9×) *)
+  pause_factor : float;
+      (** stall allocation when pending quarantine exceeds this multiple
+          of the heap while a sweep is already running (Section 5.7) *)
+  shadow_granule : int;
+      (** bytes per shadow-map bit (default 16, the smallest allocation
+          granule; coarser = smaller map, more aliasing — Section 3.2) *)
+  debug_double_free : bool;  (** report double frees instead of counting *)
+}
+
+val default : t
+(** The fully concurrent shipping configuration: all optimisations on,
+    15 % threshold, 6 helper threads. *)
+
+val mostly_concurrent : t
+(** Same but with the brief stop-the-world re-scan (Section 5.3). *)
+
+(** {1 Cumulative optimisation levels (Figures 15/16)} *)
+
+val unoptimised : t
+val plus_zeroing : t
+val plus_unmapping : t
+val plus_concurrency : t
+val plus_purging : t
+(** [plus_purging = default]. *)
+
+val optimisation_levels : (string * t) list
+
+(** {1 Partial versions (Figure 17)} *)
+
+val partial_base : t
+val partial_unmap_zero : t
+val partial_quarantine : t
+val partial_concurrency : t
+val partial_sweep : t
+val partial_full : t
+
+val partial_versions : (string * t) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type event =
+  | Free_intercepted of { addr : int; usable : int }
+  | Double_free of { addr : int }
+  | Unmapped of { addr : int; len : int }
+  | Sweep_started of { sweep : int; quarantined_bytes : int }
+  | Sweep_finished of { sweep : int; released : int; failed : int }
+  | Stop_the_world of { cycles : int }
+  | Allocation_paused of { cycles : int }
+
+type t = {
+  ring : (int * event) option array;
+  mutable next : int;
+  mutable recorded : int;
+}
+
+let create ?(capacity = 1024) () =
+  assert (capacity > 0);
+  { ring = Array.make capacity None; next = 0; recorded = 0 }
+
+let record t ~now event =
+  t.ring.(t.next) <- Some (now, event);
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.recorded <- t.recorded + 1
+
+let events t =
+  let n = Array.length t.ring in
+  let rec collect i acc =
+    if i = n then List.rev acc
+    else
+      let idx = (t.next + i) mod n in
+      collect (i + 1)
+        (match t.ring.(idx) with Some e -> e :: acc | None -> acc)
+  in
+  collect 0 []
+
+let recorded t = t.recorded
+
+let pp_event ppf = function
+  | Free_intercepted { addr; usable } ->
+    Format.fprintf ppf "free %#x (%d B) -> quarantine" addr usable
+  | Double_free { addr } -> Format.fprintf ppf "double free %#x (absorbed)" addr
+  | Unmapped { addr; len } ->
+    Format.fprintf ppf "unmapped %d B of quarantined pages at %#x" len addr
+  | Sweep_started { sweep; quarantined_bytes } ->
+    Format.fprintf ppf "sweep #%d started (%d B quarantined)" sweep
+      quarantined_bytes
+  | Sweep_finished { sweep; released; failed } ->
+    Format.fprintf ppf "sweep #%d finished: released %d, failed %d" sweep
+      released failed
+  | Stop_the_world { cycles } ->
+    Format.fprintf ppf "stop-the-world re-scan (%d cycles)" cycles
+  | Allocation_paused { cycles } ->
+    Format.fprintf ppf "allocation paused %d cycles (sweep lagging)" cycles
+
+let dump ppf t =
+  List.iter
+    (fun (now, event) -> Format.fprintf ppf "[%12d] %a@." now pp_event event)
+    (events t)

@@ -1,0 +1,34 @@
+(** Bounded in-memory event log for a MineSweeper instance.
+
+    The production analogue is the debug/telemetry channel an operator
+    would tail when deploying a drop-in mitigation: what was quarantined,
+    when sweeps ran and what they recycled, where pauses came from.
+    Recording is allocation-light (a fixed ring buffer) so it can stay on
+    in production configurations; the newest [capacity] events win. *)
+
+type event =
+  | Free_intercepted of { addr : int; usable : int }
+  | Double_free of { addr : int }
+  | Unmapped of { addr : int; len : int }
+  | Sweep_started of { sweep : int; quarantined_bytes : int }
+  | Sweep_finished of { sweep : int; released : int; failed : int }
+  | Stop_the_world of { cycles : int }
+  | Allocation_paused of { cycles : int }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 1024 events. *)
+
+val record : t -> now:int -> event -> unit
+
+val events : t -> (int * event) list
+(** Retained events, oldest first, each with its wall-cycle timestamp. *)
+
+val recorded : t -> int
+(** Total events ever recorded (≥ retained count once the ring wraps). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : Format.formatter -> t -> unit
+(** Human-readable listing of the retained window. *)

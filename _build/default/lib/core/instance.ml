@@ -1,0 +1,454 @@
+(* The body is generic over the allocator backend; see instance.mli. *)
+
+module type S = Instance_intf.S
+
+module Make (B : Alloc.Backend.S) = struct
+  type backend = B.t
+
+let page = Vmem.page_size
+let word = Vmem.word_size
+
+type sweep_state = {
+  entries : Quarantine.entry list;
+  completion : int;
+  started : int;
+}
+
+type t = {
+  machine : Alloc.Machine.t;
+  je : B.t;
+  config : Config.t;
+  quarantine : Quarantine.t;
+  shadow : Shadow.t;
+  stats : Stats.t;
+  unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
+  log : Event_log.t;
+  mutable sweep : sweep_state option;
+  mutable last_decay_tick : int;
+}
+
+let decay_tick_interval = 1_000_000
+
+(* Parallel sweeping divides the compute cost, but the wall-clock floor
+   of a sweep is DRAM bandwidth: ~16 bytes per cycle however many helper
+   threads run. *)
+let bandwidth_cycles_per_byte = 0.0625
+
+let cost t = t.machine.Alloc.Machine.cost
+let mem t = t.machine.Alloc.Machine.mem
+let now t = Alloc.Machine.now t.machine
+
+let helpers_of t =
+  match t.config.Config.concurrency with
+  | Config.Sequential -> 0
+  | Config.Concurrent { helpers; _ } -> helpers
+
+let stop_the_world_of t =
+  match t.config.Config.concurrency with
+  | Config.Sequential -> false
+  | Config.Concurrent { stop_the_world; _ } -> stop_the_world
+
+let create ?(config = Config.default) ?(threads = 1) machine =
+  let je = B.create ~extra_byte:true machine in
+  let t =
+    {
+      machine;
+      je;
+      config;
+      quarantine = Quarantine.create machine ~threads;
+      shadow = Shadow.create ~granule:config.Config.shadow_granule ();
+      stats = Stats.create ();
+      unmapped_pages = Hashtbl.create 1024;
+      log = Event_log.create ();
+      sweep = None;
+      last_decay_tick = 0;
+    }
+  in
+  (* Integrate with the allocator's extent life-cycle (Section 4.5):
+     purged extents are decommitted *and* protected so that sweeps skip
+     them instead of demand-allocating them back in, and are restored on
+     reuse. *)
+  B.set_extent_hooks je
+    {
+      Alloc.Extent.on_decommit =
+        (fun ~addr ~pages ->
+          Vmem.protect (mem t) ~addr ~len:(pages * page) Vmem.No_access);
+      on_commit =
+        (fun ~addr ~pages ->
+          Vmem.protect (mem t) ~addr ~len:(pages * page) Vmem.Read_write);
+    };
+  t
+
+(* Page-aligned sub-range of [addr, addr+len) fully covered by it. Only
+   large allocations (beyond the slab classes) are worth the two
+   syscalls; sub-page and slab-interior ranges stay mapped. *)
+let unmap_min_bytes = 16384
+
+let covered_pages ~addr ~len =
+  if len < unmap_min_bytes then None
+  else
+    let lo = (addr + page - 1) / page * page in
+    let hi = (addr + len) / page * page in
+    if hi - lo >= page then Some (lo, hi - lo) else None
+
+(* ------------------------------------------------------------------ *)
+(* Marking phase                                                       *)
+
+let mark_page t bytes =
+  let wilderness = B.wilderness t.je in
+  let shadow = t.shadow in
+  let words = page / word in
+  for k = 0 to words - 1 do
+    let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
+    if w >= Layout.heap_base && w < wilderness then Shadow.mark shadow w
+  done
+
+let mark_all_memory t =
+  Shadow.clear t.shadow;
+  let swept = ref 0 in
+  Vmem.iter_readable_pages (mem t) (fun _base bytes ->
+      mark_page t bytes;
+      swept := !swept + page);
+  t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + !swept;
+  !swept
+
+let mark_dirty_pages t =
+  let swept = ref 0 in
+  Vmem.iter_soft_dirty_pages (mem t) (fun base ->
+      Vmem.iter_committed_words (mem t) ~addr:base ~len:page (fun _ w ->
+          if w >= Layout.heap_base && w < B.wilderness t.je then
+            Shadow.mark t.shadow w);
+      swept := !swept + page);
+  !swept
+
+(* ------------------------------------------------------------------ *)
+(* Release phase                                                       *)
+
+let restore_unmapped t (e : Quarantine.entry) =
+  if e.Quarantine.unmapped_len > 0 then begin
+    match covered_pages ~addr:e.Quarantine.addr ~len:e.Quarantine.usable with
+    | None -> assert false
+    | Some (lo, len) ->
+      Vmem.protect (mem t) ~addr:lo ~len Vmem.Read_write;
+      Alloc.Machine.charge t.machine (cost t).Sim.Cost.syscall;
+      for i = 0 to (len / page) - 1 do
+        Hashtbl.remove t.unmapped_pages ((lo / page) + i)
+      done;
+      e.Quarantine.unmapped_len <- 0
+  end
+
+let release_entry t (e : Quarantine.entry) =
+  restore_unmapped t e;
+  Quarantine.release t.quarantine e;
+  B.free t.je e.Quarantine.addr;
+  t.stats.Stats.releases <- t.stats.Stats.releases + 1;
+  t.stats.Stats.released_bytes <-
+    t.stats.Stats.released_bytes + e.Quarantine.usable
+
+let release_all t entries =
+  let c = cost t in
+  List.iter
+    (fun (e : Quarantine.entry) ->
+      Alloc.Machine.charge t.machine c.Sim.Cost.release_per_entry;
+      let blocked =
+        t.config.Config.sweeping
+        &&
+        (Alloc.Machine.charge_bytes t.machine
+           (c.Sim.Cost.shadow_test_per_granule /. float_of_int Vmem.granule)
+           e.Quarantine.usable;
+         Shadow.range_marked t.shadow ~addr:e.Quarantine.addr
+           ~len:e.Quarantine.usable)
+      in
+      if blocked then begin
+        t.stats.Stats.failed_frees <- t.stats.Stats.failed_frees + 1;
+        if t.config.Config.keep_failed then Quarantine.requeue_failed t.quarantine e
+        else release_entry t e
+      end
+      else release_entry t e)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Sweep orchestration                                                 *)
+
+let sweep_sink t =
+  match t.config.Config.concurrency with
+  | Config.Sequential -> Alloc.Machine.App
+  | Config.Concurrent _ -> Alloc.Machine.Background
+
+let log_event t event = Event_log.record t.log ~now:(now t) event
+
+let finish_sweep t state =
+  (* Mostly concurrent mode: brief stop-the-world re-scan of the pages
+     written during the sweep, so moved dangling pointers are seen. *)
+  if t.config.Config.sweeping && stop_the_world_of t then begin
+    let c = cost t in
+    let dirty_bytes =
+      Alloc.Machine.with_sink t.machine Alloc.Machine.Background (fun () ->
+          mark_dirty_pages t)
+    in
+    let scan_cycles = Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte dirty_bytes in
+    let pause =
+      c.Sim.Cost.stw_signal + (scan_cycles / (helpers_of t + 1))
+    in
+    Sim.Clock.stall t.machine.Alloc.Machine.clock pause;
+    Sim.Clock.background t.machine.Alloc.Machine.clock scan_cycles;
+    t.stats.Stats.stw_pauses <- t.stats.Stats.stw_pauses + 1;
+    t.stats.Stats.stw_cycles <- t.stats.Stats.stw_cycles + pause;
+    log_event t (Event_log.Stop_the_world { cycles = pause })
+  end;
+  let released_before = t.stats.Stats.releases in
+  let failed_before = t.stats.Stats.failed_frees in
+  Alloc.Machine.with_sink t.machine (sweep_sink t) (fun () ->
+      release_all t state.entries;
+      if t.config.Config.purging then B.purge_all t.je);
+  log_event t
+    (Event_log.Sweep_finished
+       {
+         sweep = t.stats.Stats.sweeps;
+         released = t.stats.Stats.releases - released_before;
+         failed = t.stats.Stats.failed_frees - failed_before;
+       });
+  t.sweep <- None
+
+let start_sweep t =
+  t.stats.Stats.sweeps <- t.stats.Stats.sweeps + 1;
+  log_event t
+    (Event_log.Sweep_started
+       {
+         sweep = t.stats.Stats.sweeps;
+         quarantined_bytes = Quarantine.total_bytes t.quarantine;
+       });
+  let entries = Quarantine.lock_in t.quarantine in
+  if stop_the_world_of t then Vmem.clear_soft_dirty (mem t);
+  let c = cost t in
+  let sink = sweep_sink t in
+  let busy = ref 0 in
+  if t.config.Config.sweeping then begin
+    let swept =
+      Alloc.Machine.with_sink t.machine sink (fun () -> mark_all_memory t)
+    in
+    busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte swept
+  end;
+  (* The release phase charges itself per entry in [release_all]; the
+     wall-clock duration below accounts for it via the same estimate. *)
+  let release_estimate = List.length entries * c.Sim.Cost.release_per_entry in
+  match t.config.Config.concurrency with
+  | Config.Sequential ->
+    Alloc.Machine.charge t.machine !busy;
+    finish_sweep t { entries; completion = now t; started = now t }
+  | Config.Concurrent { helpers; _ } ->
+    Sim.Clock.background t.machine.Alloc.Machine.clock !busy;
+    let parallel = (!busy + release_estimate) / (helpers + 1) in
+    let floor_cycles =
+      if t.config.Config.sweeping then
+        Sim.Cost.bytes_cost bandwidth_cycles_per_byte
+          (Vmem.readable_bytes (mem t))
+      else 0
+    in
+    let duration = max parallel floor_cycles in
+    t.sweep <- Some { entries; completion = now t + duration; started = now t }
+
+let trigger_due t =
+  let q = t.quarantine in
+  let fresh = Quarantine.fresh_mapped_bytes q in
+  let heap =
+    B.live_bytes t.je
+    - Quarantine.failed_bytes q
+    - Quarantine.unmapped_bytes q
+  in
+  let by_threshold =
+    fresh >= t.config.Config.threshold_min_bytes
+    && float_of_int fresh >= t.config.Config.threshold *. float_of_int (max heap 1)
+  in
+  let by_unmapped =
+    float_of_int (Quarantine.unmapped_bytes q)
+    >= t.config.Config.unmap_factor
+       *. float_of_int (Vmem.committed_bytes (mem t))
+  in
+  by_threshold || by_unmapped
+
+let maybe_sweep t =
+  if t.sweep = None && t.config.Config.quarantining && trigger_due t then
+    start_sweep t
+
+let tick t =
+  (match t.sweep with
+  | Some state when now t >= state.completion ->
+    finish_sweep t state;
+    maybe_sweep t
+  | Some _ | None -> ());
+  if not t.config.Config.purging then begin
+    let n = now t in
+    if n - t.last_decay_tick >= decay_tick_interval then begin
+      t.last_decay_tick <- n;
+      Alloc.Machine.with_sink t.machine Alloc.Machine.Background (fun () ->
+          B.purge_tick t.je)
+    end
+  end
+
+let drain t =
+  Quarantine.flush_all t.quarantine;
+  match t.sweep with
+  | Some state ->
+    finish_sweep t state
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Allocation entry points                                             *)
+
+let malloc t size =
+  tick t;
+  (match t.sweep with
+  | Some state ->
+    (* Allocation pausing: if the quarantine has outgrown the heap while
+       a sweep is still running, stall until it completes rather than
+       letting memory balloon (Section 5.7). *)
+    let heap = max 1 (B.live_bytes t.je) in
+    if
+      float_of_int (Quarantine.fresh_mapped_bytes t.quarantine)
+      >= t.config.Config.pause_factor *. float_of_int heap
+    then begin
+      let wait = max 0 (state.completion - now t) in
+      Sim.Clock.stall t.machine.Alloc.Machine.clock wait;
+      log_event t (Event_log.Allocation_paused { cycles = wait });
+      t.stats.Stats.alloc_pauses <- t.stats.Stats.alloc_pauses + 1;
+      t.stats.Stats.alloc_pause_cycles <-
+        t.stats.Stats.alloc_pause_cycles + wait;
+      tick t
+    end
+  | None -> ());
+  B.malloc t.je size
+
+let zero_entry t addr usable skip =
+  (* Zero the freed data (Section 4.1), skipping any middle range that is
+     about to be unmapped anyway (its reincarnation is zero-filled by the
+     OS). *)
+  let c = cost t in
+  let zero ~addr ~len =
+    if len > 0 then begin
+      Vmem.zero_range (mem t) ~addr ~len;
+      Alloc.Machine.charge_bytes t.machine c.Sim.Cost.zero_per_byte len
+    end
+  in
+  match skip with
+  | None -> zero ~addr ~len:usable
+  | Some (lo, len) ->
+    zero ~addr ~len:(lo - addr);
+    zero ~addr:(lo + len) ~len:(addr + usable - lo - len)
+
+let unmap_entry t (e : Quarantine.entry) (lo, len) =
+  Vmem.decommit (mem t) ~addr:lo ~len;
+  Vmem.protect (mem t) ~addr:lo ~len Vmem.No_access;
+  Alloc.Machine.charge t.machine (2 * (cost t).Sim.Cost.syscall);
+  for i = 0 to (len / page) - 1 do
+    Hashtbl.replace t.unmapped_pages ((lo / page) + i) ()
+  done;
+  e.Quarantine.unmapped_len <- len;
+  log_event t (Event_log.Unmapped { addr = lo; len });
+  t.stats.Stats.unmapped_allocations <- t.stats.Stats.unmapped_allocations + 1;
+  t.stats.Stats.unmapped_bytes <- t.stats.Stats.unmapped_bytes + len
+
+let forward_free t addr =
+  (* Quarantining disabled (partial versions 1-2): optionally unmap-and-
+     remap large allocations and zero small ones, then recycle at once. *)
+  let usable = B.usable_size t.je addr in
+  if t.config.Config.unmapping || t.config.Config.zeroing then begin
+    match
+      if t.config.Config.unmapping then covered_pages ~addr ~len:usable
+      else None
+    with
+    | Some (lo, len) ->
+      Vmem.decommit (mem t) ~addr:lo ~len;
+      Vmem.commit (mem t) ~addr:lo ~len;
+      Alloc.Machine.charge t.machine (2 * (cost t).Sim.Cost.syscall);
+      if t.config.Config.zeroing then zero_entry t addr usable (Some (lo, len))
+    | None -> if t.config.Config.zeroing then zero_entry t addr usable None
+  end;
+  B.free t.je addr
+
+let free t ?(thread = 0) addr =
+  tick t;
+  t.stats.Stats.frees_intercepted <- t.stats.Stats.frees_intercepted + 1;
+  if not t.config.Config.quarantining then forward_free t addr
+  else if Quarantine.contains t.quarantine addr then begin
+    (* Double free while quarantined: idempotent (Section 3). *)
+    t.stats.Stats.double_frees <- t.stats.Stats.double_frees + 1;
+    log_event t (Event_log.Double_free { addr });
+    if t.config.Config.debug_double_free then
+      Logs.warn (fun m -> m "MineSweeper: double free of %#x" addr)
+  end
+  else begin
+    let usable = B.usable_size t.je addr in
+    log_event t (Event_log.Free_intercepted { addr; usable });
+    let e = { Quarantine.addr; usable; unmapped_len = 0; failures = 0 } in
+    let covered =
+      if t.config.Config.unmapping then covered_pages ~addr ~len:usable
+      else None
+    in
+    if t.config.Config.zeroing then zero_entry t addr usable covered;
+    (match covered with
+    | Some range -> unmap_entry t e range
+    | None -> ());
+    Quarantine.push t.quarantine ~thread e;
+    (* Unmapped entries are rare and large: flush them to the global
+       quarantine at once so the 9x-footprint trigger sees them. *)
+    if e.Quarantine.unmapped_len > 0 then
+      Quarantine.flush_thread t.quarantine ~thread;
+    let total = Quarantine.total_bytes t.quarantine in
+    if total > t.stats.Stats.peak_quarantine_bytes then
+      t.stats.Stats.peak_quarantine_bytes <- total;
+    maybe_sweep t
+  end
+
+(* calloc/realloc complete the drop-in allocator API. realloc frees
+   through the quarantine like any other free: the old range stays
+   protected until sweeps prove it safe. *)
+
+let calloc t count size =
+  assert (count >= 0 && size >= 0);
+  (* The backend already serves zeroed memory. *)
+  malloc t (count * size)
+
+let realloc t ?(thread = 0) addr size =
+  if addr = 0 then malloc t size
+  else if size = 0 then begin
+    free t ~thread addr;
+    0
+  end
+  else begin
+    let old_usable = B.usable_size t.je addr in
+    let fresh = malloc t size in
+    let copy = min size old_usable in
+    let m = mem t in
+    let rec copy_words off =
+      if off + word <= copy then begin
+        Vmem.store m (fresh + off) (Vmem.load m (addr + off));
+        copy_words (off + word)
+      end
+    in
+    copy_words 0;
+    Alloc.Machine.charge_bytes t.machine (cost t).Sim.Cost.touch_per_byte copy;
+    free t ~thread addr;
+    fresh
+  end
+
+let is_quarantined t addr = Quarantine.contains t.quarantine addr
+
+let note_prevented_uaf t =
+  t.stats.Stats.uaf_prevented <- t.stats.Stats.uaf_prevented + 1
+
+let backend t = t.je
+let live_bytes t = B.live_bytes t.je
+let machine t = t.machine
+let config t = t.config
+let stats t = t.stats
+let quarantine_bytes t = Quarantine.total_bytes t.quarantine
+let quarantine_entries t = Quarantine.entry_count t.quarantine
+let event_log t = t.log
+let shadow_resident_bytes t = Shadow.shadow_bytes t.shadow
+let sweep_in_progress t = t.sweep <> None
+end
+
+include Make (Alloc.Backends.Jemalloc_backend)
+
+let jemalloc = backend

@@ -1,0 +1,27 @@
+(** A MineSweeper instance: the drop-in layer between the application and
+    the allocator (Figure 3).
+
+    [malloc]/[free] replace the allocator's entry points. Frees are
+    intercepted and quarantined; periodic linear sweeps of all program
+    memory mark the targets of potential pointers in a shadow map, and
+    quarantined allocations without marks are recycled through the real
+    allocator. See {!Config} for the operation modes.
+
+    The layer is allocator-agnostic: {!Make} builds it over any
+    {!Alloc.Backend.S} (the paper reports both JeMalloc and Scudo
+    integrations). The default instance included at the top level runs
+    over the JeMalloc model.
+
+    The instance is driven by simulated time: sweeps scheduled on the
+    background sweeper threads complete when the application's clock
+    reaches their completion time. Callers should invoke [tick]
+    periodically (every [malloc]/[free] does so implicitly). *)
+
+module type S = Instance_intf.S
+
+module Make (B : Alloc.Backend.S) : S with type backend = B.t
+
+include S with type backend = Alloc.Jemalloc.t
+
+val jemalloc : t -> Alloc.Jemalloc.t
+(** Alias of {!backend} for the default JeMalloc instantiation. *)

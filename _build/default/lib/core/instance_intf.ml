@@ -1,0 +1,67 @@
+(** Signature of a MineSweeper instance; see {!Instance} for the
+    documentation of the layer itself. *)
+
+module type S = sig
+  type t
+
+  type backend
+  (** The underlying allocator's handle. *)
+
+  val create : ?config:Config.t -> ?threads:int -> Alloc.Machine.t -> t
+  (** Builds the layer over a fresh allocator (with the extra-byte
+      modification). [threads] sizes the thread-local quarantine
+      buffers. *)
+
+  val malloc : t -> int -> int
+  (** Allocate. May stall (allocation pause) when a sweep is struggling
+      to keep up with the free rate (Section 5.7). *)
+
+  val free : t -> ?thread:int -> int -> unit
+  (** Intercepted free: quarantine (zero, maybe unmap) rather than
+      recycle. Double frees of a quarantined address are idempotent. *)
+
+  val calloc : t -> int -> int -> int
+  (** [calloc t count size]: zero-initialised array allocation. *)
+
+  val realloc : t -> ?thread:int -> int -> int -> int
+  (** [realloc t addr size] allocates, copies the overlapping prefix and
+      frees the old block through the quarantine. [realloc t 0 size]
+      behaves as [malloc]; size 0 behaves as [free] and returns 0. *)
+
+  val tick : t -> unit
+  (** Complete any sweep whose scheduled completion time has passed, and
+      run the allocator's decay purging when MineSweeper's post-sweep
+      purging is disabled. *)
+
+  val drain : t -> unit
+  (** Force-finish the in-flight sweep, if any (end of run). *)
+
+  val is_quarantined : t -> int -> bool
+  (** Whether this address is currently held in quarantine — an access
+      to it is a use-after-free that MineSweeper has prevented from
+      becoming a use-after-reallocate. *)
+
+  val note_prevented_uaf : t -> unit
+  (** Record that the application just accessed quarantined memory. *)
+
+  val backend : t -> backend
+
+  val live_bytes : t -> int
+  (** Live bytes as seen by the underlying allocator (quarantined
+      allocations included: they are not yet freed). *)
+
+  val machine : t -> Alloc.Machine.t
+  val config : t -> Config.t
+  val stats : t -> Stats.t
+  val quarantine_bytes : t -> int
+  val quarantine_entries : t -> int
+
+  val event_log : t -> Event_log.t
+  (** The instance's bounded debug/telemetry event ring. *)
+
+  val shadow_resident_bytes : t -> int
+  (** Bytes of shadow-map backing currently resident (for memory
+      accounting; the paper reports it below 1 % of the heap). *)
+
+  val sweep_in_progress : t -> bool
+end

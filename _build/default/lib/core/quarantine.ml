@@ -1,0 +1,94 @@
+type entry = {
+  addr : int;
+  usable : int;
+  mutable unmapped_len : int;
+  mutable failures : int;
+}
+
+let buffer_flush_threshold = 64
+
+type t = {
+  machine : Alloc.Machine.t;
+  mutable fresh : entry list;
+  mutable failed : entry list;
+  mutable fresh_mapped : int;
+  mutable failed_total : int;
+  mutable unmapped : int;
+  dedup : (int, entry) Hashtbl.t;
+  buffers : entry list array;
+  buffer_lens : int array;
+}
+
+let create machine ~threads =
+  assert (threads >= 1);
+  {
+    machine;
+    fresh = [];
+    failed = [];
+    fresh_mapped = 0;
+    failed_total = 0;
+    unmapped = 0;
+    dedup = Hashtbl.create 4096;
+    buffers = Array.make threads [];
+    buffer_lens = Array.make threads 0;
+  }
+
+let contains t addr = Hashtbl.mem t.dedup addr
+let find t addr = Hashtbl.find_opt t.dedup addr
+
+let account_fresh t e =
+  t.fresh_mapped <- t.fresh_mapped + (e.usable - e.unmapped_len);
+  t.unmapped <- t.unmapped + e.unmapped_len
+
+let flush_thread t ~thread =
+  let buffered = t.buffers.(thread) in
+  if buffered <> [] then begin
+    let cost = t.machine.Alloc.Machine.cost in
+    Alloc.Machine.charge t.machine
+      (t.buffer_lens.(thread) * cost.Sim.Cost.quarantine_flush_per_entry);
+    t.fresh <- List.rev_append buffered t.fresh;
+    List.iter (fun e -> account_fresh t e) buffered;
+    t.buffers.(thread) <- [];
+    t.buffer_lens.(thread) <- 0
+  end
+
+let flush_all t =
+  for thread = 0 to Array.length t.buffers - 1 do
+    flush_thread t ~thread
+  done
+
+let push t ~thread e =
+  assert (not (contains t e.addr));
+  let cost = t.machine.Alloc.Machine.cost in
+  Alloc.Machine.charge t.machine cost.Sim.Cost.quarantine_push;
+  Hashtbl.replace t.dedup e.addr e;
+  t.buffers.(thread) <- e :: t.buffers.(thread);
+  t.buffer_lens.(thread) <- t.buffer_lens.(thread) + 1;
+  if t.buffer_lens.(thread) >= buffer_flush_threshold then flush_thread t ~thread
+
+let lock_in t =
+  flush_all t;
+  let locked = List.rev_append t.failed t.fresh in
+  t.fresh <- [];
+  t.failed <- [];
+  t.fresh_mapped <- 0;
+  t.failed_total <- 0;
+  t.unmapped <- 0;
+  locked
+
+let requeue_failed t e =
+  e.failures <- e.failures + 1;
+  t.failed <- e :: t.failed;
+  t.failed_total <- t.failed_total + (e.usable - e.unmapped_len);
+  t.unmapped <- t.unmapped + e.unmapped_len
+
+let release t e = Hashtbl.remove t.dedup e.addr
+
+let fresh_mapped_bytes t = t.fresh_mapped
+let failed_bytes t = t.failed_total
+let unmapped_bytes t = t.unmapped
+let total_bytes t = t.fresh_mapped + t.failed_total + t.unmapped
+
+let entry_count t =
+  List.length t.fresh + List.length t.failed
+  + Array.fold_left (fun acc l -> acc + List.length l) 0 t.buffers

@@ -1,0 +1,57 @@
+(** The quarantine: freed allocations awaiting proof of safety.
+
+    Frees are buffered per-thread (to reduce lock contention, Section 1.1
+    contribution (c)) and flushed to the global list, which feeds the
+    sweep trigger. Entries that fail to free (a mark was found) are kept
+    on a separate list so they can be excluded from the trigger
+    arithmetic — the paper subtracts failed frees "from both sides" so
+    that persistent dangling pointers cannot force a sweep on every
+    [free()] (Section 3.2).
+
+    A dedup table keyed by address makes double frees idempotent
+    (Section 3): the second [free()] of a quarantined address is a no-op
+    (reported in debug mode). *)
+
+type entry = {
+  addr : int;
+  usable : int;  (** usable size, including the past-the-end byte *)
+  mutable unmapped_len : int;
+      (** bytes of fully covered pages whose backing was released *)
+  mutable failures : int;  (** sweeps that found a mark on this entry *)
+}
+
+type t
+
+val create : Alloc.Machine.t -> threads:int -> t
+
+val contains : t -> int -> bool
+(** Whether the address is currently quarantined (dedup check). *)
+
+val find : t -> int -> entry option
+
+val push : t -> thread:int -> entry -> unit
+(** Quarantine an entry through the thread's local buffer. The address
+    must not already be quarantined. *)
+
+val flush_thread : t -> thread:int -> unit
+val flush_all : t -> unit
+
+val lock_in : t -> entry list
+(** Take everything (fresh and previously failed, buffers included) as
+    the working set of a starting sweep; subsequent pushes accumulate for
+    the next sweep. *)
+
+val requeue_failed : t -> entry -> unit
+(** Put a locked-in entry back after its release was blocked. *)
+
+val release : t -> entry -> unit
+(** Forget a locked-in entry whose memory was recycled. *)
+
+val fresh_mapped_bytes : t -> int
+(** Trigger numerator: quarantined bytes that are neither failed nor
+    unmapped. *)
+
+val failed_bytes : t -> int
+val unmapped_bytes : t -> int
+val total_bytes : t -> int
+val entry_count : t -> int

@@ -1,0 +1,67 @@
+let page_size = Vmem.page_size
+
+type t = {
+  granule : int;
+  bitmap_bytes : int;
+  mutable pages : (int, Bytes.t) Hashtbl.t;
+}
+
+let create ?(granule = Vmem.granule) () =
+  assert (granule >= 8 && page_size mod granule = 0);
+  {
+    granule;
+    bitmap_bytes = page_size / granule / 8;
+    pages = Hashtbl.create 1024;
+  }
+
+let granule t = t.granule
+
+let clear t = t.pages <- Hashtbl.create (Hashtbl.length t.pages)
+
+let mark t p =
+  assert (Layout.in_heap p);
+  let page = p / page_size in
+  let bitmap =
+    match Hashtbl.find_opt t.pages page with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make t.bitmap_bytes '\000' in
+      Hashtbl.replace t.pages page b;
+      b
+  in
+  let g = p mod page_size / t.granule in
+  let byte = g / 8 and bit = g mod 8 in
+  Bytes.unsafe_set bitmap byte
+    (Char.chr (Char.code (Bytes.unsafe_get bitmap byte) lor (1 lsl bit)))
+
+let is_marked t p =
+  match Hashtbl.find_opt t.pages (p / page_size) with
+  | None -> false
+  | Some bitmap ->
+    let g = p mod page_size / t.granule in
+    Char.code (Bytes.unsafe_get bitmap (g / 8)) land (1 lsl (g mod 8)) <> 0
+
+let range_marked t ~addr ~len =
+  assert (len > 0);
+  (* Check every granule the range intersects; granule-sized steps from
+     the aligned start. *)
+  let granule = t.granule in
+  let first = addr - (addr mod granule) in
+  let rec check p = p < addr + len && (is_marked t p || check (p + granule)) in
+  check first
+
+let marked_granules t =
+  Hashtbl.fold
+    (fun _ bitmap acc ->
+      let count = ref 0 in
+      Bytes.iter
+        (fun c ->
+          let x = Char.code c in
+          for bit = 0 to 7 do
+            if x land (1 lsl bit) <> 0 then incr count
+          done)
+        bitmap;
+      acc + !count)
+    t.pages 0
+
+let shadow_bytes t = Hashtbl.length t.pages * t.bitmap_bytes

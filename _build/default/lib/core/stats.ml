@@ -1,0 +1,44 @@
+type t = {
+  mutable frees_intercepted : int;
+  mutable double_frees : int;
+  mutable sweeps : int;
+  mutable swept_bytes : int;
+  mutable releases : int;
+  mutable released_bytes : int;
+  mutable failed_frees : int;
+  mutable unmapped_allocations : int;
+  mutable unmapped_bytes : int;
+  mutable stw_pauses : int;
+  mutable stw_cycles : int;
+  mutable alloc_pauses : int;
+  mutable alloc_pause_cycles : int;
+  mutable peak_quarantine_bytes : int;
+  mutable uaf_prevented : int;
+}
+
+let create () =
+  {
+    frees_intercepted = 0;
+    double_frees = 0;
+    sweeps = 0;
+    swept_bytes = 0;
+    releases = 0;
+    released_bytes = 0;
+    failed_frees = 0;
+    unmapped_allocations = 0;
+    unmapped_bytes = 0;
+    stw_pauses = 0;
+    stw_cycles = 0;
+    alloc_pauses = 0;
+    alloc_pause_cycles = 0;
+    peak_quarantine_bytes = 0;
+    uaf_prevented = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "frees=%d double_frees=%d sweeps=%d swept=%dB releases=%d failed=%d \
+     unmapped=%d stw=%d pauses=%d peak_quarantine=%dB"
+    t.frees_intercepted t.double_frees t.sweeps t.swept_bytes t.releases
+    t.failed_frees t.unmapped_allocations t.stw_pauses t.alloc_pauses
+    t.peak_quarantine_bytes

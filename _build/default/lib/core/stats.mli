@@ -1,0 +1,23 @@
+(** Counters published by a MineSweeper instance. *)
+
+type t = {
+  mutable frees_intercepted : int;
+  mutable double_frees : int;
+  mutable sweeps : int;
+  mutable swept_bytes : int;  (** memory scanned across all marking phases *)
+  mutable releases : int;  (** allocations recycled after a clean sweep *)
+  mutable released_bytes : int;
+  mutable failed_frees : int;  (** release attempts blocked by a mark *)
+  mutable unmapped_allocations : int;
+  mutable unmapped_bytes : int;
+  mutable stw_pauses : int;
+  mutable stw_cycles : int;
+  mutable alloc_pauses : int;
+  mutable alloc_pause_cycles : int;
+  mutable peak_quarantine_bytes : int;
+  mutable uaf_prevented : int;
+      (** accesses to quarantined memory observed by the checker *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+(** Regeneration of every table and figure in the paper's evaluation.
+
+    Each [figN] function returns the rendered text of the corresponding
+    paper figure, computed from simulation runs. Runs are memoised in the
+    {!env}, so figures sharing data (e.g. Figures 7/9/10/11/12/13/14 all
+    reuse the SPEC CPU2006 matrix) only pay once.
+
+    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md
+    for measured-vs-paper values. *)
+
+type env
+
+val make_env : ?scale:float -> ?verbose:bool -> unit -> env
+(** [scale] shortens every trace proportionally (e.g. [0.2] for smoke
+    runs); [verbose] logs each simulation run to stderr as it starts. *)
+
+val scheme_keys : string list
+(** All scheme keys usable with {!run}: ["baseline"], ["minesweeper"],
+    ["minesweeper-mostly"], ["markus"], ["ffmalloc"], the optimisation
+    levels ["ms-unopt"], ["ms-zero"], ["ms-unmap"], ["ms-conc"], and the
+    partial versions ["ms-partial-base"], ["ms-partial-uz"],
+    ["ms-partial-q"], ["ms-partial-c"], ["ms-partial-s"]. *)
+
+val run : env -> suite:string -> bench:string -> scheme:string ->
+  Workloads.Driver.result
+(** Memoised single run. *)
+
+val fig1 : env -> string
+(** Use-after-free vulnerabilities per year (NVD + Linux kernel). *)
+
+val fig2 : env -> string
+(** Exploit life-cycle: attack outcomes under each scheme. *)
+
+val fig7 : env -> string
+(** SPEC CPU2006 slowdown, all schemes (incl. literature-quoted). *)
+
+val fig8 : env -> string
+(** Memory usage over time for sphinx3. *)
+
+val fig9 : env -> string
+(** Slowdown vs MarkUs and FFmalloc (re-run head-to-head). *)
+
+val fig10 : env -> string
+(** SPEC CPU2006 average memory overhead, all schemes. *)
+
+val fig11 : env -> string
+(** Average and peak memory overhead (MineSweeper). *)
+
+val fig12 : env -> string
+(** Additional CPU utilisation (MineSweeper). *)
+
+val fig13 : env -> string
+(** Fully vs mostly concurrent slowdown. *)
+
+val fig14 : env -> string
+(** Number of sweeps triggered per benchmark. *)
+
+val fig15 : env -> string
+(** Run-time overhead under cumulative optimisation levels. *)
+
+val fig16 : env -> string
+(** Memory overhead under cumulative optimisation levels. *)
+
+val fig17 : env -> string
+(** Source of overheads: six partial versions on five benchmarks. *)
+
+val fig18 : env -> string
+(** SPECspeed2017 time and memory overheads. *)
+
+val fig19 : env -> string
+(** mimalloc-bench stress-test time and memory overheads. *)
+
+val scudo_table : env -> string
+(** Section 7: MineSweeper over the Scudo backend vs plain Scudo. *)
+
+val ptrtrack_table : env -> string
+(** Extension: CRCount / pSweeper / DangSan implemented over the
+    instrumented-store hook and measured against MineSweeper, next to
+    the values the paper quotes. *)
+
+val ablation_threshold : env -> string
+(** Extension: sensitivity of time/memory to the sweep threshold. *)
+
+val ablation_granule : env -> string
+(** Extension: shadow-map precision vs aliasing-induced failed frees. *)
+
+val ablation_helpers : env -> string
+(** Extension: sensitivity to the number of sweeper helper threads. *)
+
+val all_figures : (string * (env -> string)) list
+(** In paper order; keys are ["fig1"], ["fig2"], ["fig7"] ... ["fig19"],
+    plus ["scudo"], ["ptrtrack"], ["ablation-threshold"] and
+    ["ablation-helpers"]. *)

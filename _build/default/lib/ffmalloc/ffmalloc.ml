@@ -1,0 +1,146 @@
+let page = Vmem.page_size
+
+(* FFmalloc serves requests below this from shared per-size pools; larger
+   requests get dedicated pages (the original uses the same 2 KiB
+   boundary). *)
+let pool_max = 2048
+let chunk_pages = 256 (* map address space 1 MiB at a time *)
+let malloc_cycles = 15
+let free_cycles = 20
+
+(* FFmalloc coalesces page releases into batched munmap calls; charge a
+   fraction of a syscall per released page. *)
+let unmap_batch = 8
+
+type pool = {
+  mutable current : int; (* page base being filled, 0 if none *)
+  mutable offset : int;
+}
+
+type t = {
+  machine : Alloc.Machine.t;
+  pools : pool array; (* one per 16-byte-rounded size up to pool_max *)
+  page_live : (int, int) Hashtbl.t; (* page index -> live objects *)
+  open_pages : (int, unit) Hashtbl.t; (* pages still being bump-filled *)
+  live : (int, int) Hashtbl.t; (* allocation base -> usable size *)
+  large : (int, int) Hashtbl.t; (* allocation base -> pages *)
+  mutable brk : int;
+  mutable chunk_limit : int; (* end of the currently mapped chunk *)
+  mutable live_bytes : int;
+}
+
+let create machine =
+  {
+    machine;
+    pools = Array.init (pool_max / 16) (fun _ -> { current = 0; offset = 0 });
+    page_live = Hashtbl.create 4096;
+    open_pages = Hashtbl.create 64;
+    live = Hashtbl.create 4096;
+    large = Hashtbl.create 256;
+    brk = Layout.heap_base;
+    chunk_limit = Layout.heap_base;
+    live_bytes = 0;
+  }
+
+let mem t = t.machine.Alloc.Machine.mem
+let cost t = t.machine.Alloc.Machine.cost
+
+let take_pages t n =
+  (* Strictly increasing addresses; map in whole chunks to amortise the
+     mmap syscall. *)
+  if t.brk + (n * page) > t.chunk_limit then begin
+    let need = t.brk + (n * page) - t.chunk_limit in
+    let chunk = (need + (chunk_pages * page) - 1) / (chunk_pages * page) in
+    let len = chunk * chunk_pages * page in
+    Vmem.map (mem t) ~addr:t.chunk_limit ~len;
+    Alloc.Machine.charge t.machine (cost t).Sim.Cost.syscall;
+    t.chunk_limit <- t.chunk_limit + len
+  end;
+  let base = t.brk in
+  t.brk <- t.brk + (n * page);
+  base
+
+let retire_page t base =
+  Hashtbl.remove t.open_pages (base / page);
+  (* A page whose objects all died while it was still open is released
+     now that no more can land on it. *)
+  if Hashtbl.find_opt t.page_live (base / page) = Some 0 then begin
+    Hashtbl.remove t.page_live (base / page);
+    Vmem.unmap (mem t) ~addr:base ~len:page;
+    Alloc.Machine.charge t.machine ((cost t).Sim.Cost.syscall / unmap_batch)
+  end
+
+let malloc_pool t size =
+  let rounded = (size + 15) / 16 * 16 in
+  let pool = t.pools.((rounded / 16) - 1) in
+  if pool.current = 0 || pool.offset + rounded > page then begin
+    if pool.current <> 0 then retire_page t pool.current;
+    pool.current <- take_pages t 1;
+    pool.offset <- 0;
+    Hashtbl.replace t.open_pages (pool.current / page) ();
+    Hashtbl.replace t.page_live (pool.current / page) 0
+  end;
+  let addr = pool.current + pool.offset in
+  pool.offset <- pool.offset + rounded;
+  let idx = pool.current / page in
+  Hashtbl.replace t.page_live idx (Hashtbl.find t.page_live idx + 1);
+  (addr, rounded)
+
+let malloc t size =
+  assert (size >= 0);
+  let size = max 1 size in
+  Alloc.Machine.charge t.machine malloc_cycles;
+  let addr, usable =
+    if size <= pool_max then malloc_pool t size
+    else begin
+      let pages = (size + page - 1) / page in
+      let addr = take_pages t pages in
+      Hashtbl.replace t.large addr pages;
+      (addr, pages * page)
+    end
+  in
+  (* Fresh pages arrive zeroed from the OS; only charge the application's
+     initialising writes. *)
+  Alloc.Machine.charge_bytes t.machine (cost t).Sim.Cost.touch_per_byte usable;
+  Hashtbl.replace t.live addr usable;
+  t.live_bytes <- t.live_bytes + usable;
+  addr
+
+let free t addr =
+  Alloc.Machine.charge t.machine free_cycles;
+  let usable =
+    match Hashtbl.find_opt t.live addr with
+    | Some u -> u
+    | None -> invalid_arg "Ffmalloc.free: not a live allocation"
+  in
+  Hashtbl.remove t.live addr;
+  t.live_bytes <- t.live_bytes - usable;
+  match Hashtbl.find_opt t.large addr with
+  | Some pages ->
+    Hashtbl.remove t.large addr;
+    Vmem.unmap (mem t) ~addr ~len:(pages * page);
+    Alloc.Machine.charge t.machine (cost t).Sim.Cost.syscall
+  | None ->
+    let idx = addr / page in
+    let remaining = Hashtbl.find t.page_live idx - 1 in
+    Hashtbl.replace t.page_live idx remaining;
+    assert (remaining >= 0);
+    if remaining = 0 && not (Hashtbl.mem t.open_pages idx) then begin
+      (* Last object on a retired page: return it to the OS forever. *)
+      Hashtbl.remove t.page_live idx;
+      Vmem.unmap (mem t) ~addr:(idx * page) ~len:page;
+      Alloc.Machine.charge t.machine ((cost t).Sim.Cost.syscall / unmap_batch)
+    end
+
+let usable_size t addr =
+  match Hashtbl.find_opt t.live addr with
+  | Some u -> u
+  | None -> invalid_arg "Ffmalloc.usable_size: not a live allocation"
+
+let live_bytes t = t.live_bytes
+let live_allocations t = Hashtbl.length t.live
+
+let is_freed_address t addr =
+  addr >= Layout.heap_base && addr < t.brk && not (Hashtbl.mem t.live addr)
+
+let va_consumed t = t.brk - Layout.heap_base

@@ -1,0 +1,29 @@
+(** FFmalloc baseline (Wickman et al., USENIX Security 2021): a one-time
+    allocator.
+
+    Virtual addresses are handed out in strictly increasing order and
+    never reused, so a dangling pointer can never alias a newer
+    allocation. Physical pages are released once every object on them
+    has been freed. The design trades address-space and fragmentation
+    for a very cheap allocation path — its signature behaviours in the
+    paper (lowest slowdown; memory blow-up on workloads whose long-lived
+    objects pin mostly-dead pages; monotonically climbing RSS, Figure 8)
+    all emerge from exactly those two rules. *)
+
+type t
+
+val create : Alloc.Machine.t -> t
+
+val malloc : t -> int -> int
+val free : t -> int -> unit
+
+val usable_size : t -> int -> int
+val live_bytes : t -> int
+val live_allocations : t -> int
+
+val is_freed_address : t -> int -> bool
+(** Whether the address belonged to an allocation that has been freed.
+    FFmalloc guarantees such an address is never served again. *)
+
+val va_consumed : t -> int
+(** Address space consumed so far (monotone). *)

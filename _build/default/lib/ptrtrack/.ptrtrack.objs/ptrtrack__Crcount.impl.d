@@ -1,0 +1,1 @@
+lib/ptrtrack/crcount.ml: Alloc Hashtbl Option Registry Sim Vmem

@@ -1,0 +1,1 @@
+lib/ptrtrack/crcount.mli: Alloc

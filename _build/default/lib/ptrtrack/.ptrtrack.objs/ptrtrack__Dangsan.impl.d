@@ -1,0 +1,1 @@
+lib/ptrtrack/dangsan.ml: Alloc Hashtbl Layout List Vmem

@@ -1,0 +1,1 @@
+lib/ptrtrack/dangsan.mli: Alloc

@@ -1,0 +1,1 @@
+lib/ptrtrack/psweeper.ml: Alloc Hashtbl List Registry Vmem

@@ -1,0 +1,1 @@
+lib/ptrtrack/psweeper.mli: Alloc

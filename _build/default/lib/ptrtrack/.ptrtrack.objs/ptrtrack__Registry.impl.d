@@ -1,0 +1,1 @@
+lib/ptrtrack/registry.ml: Alloc Hashtbl Layout List Vmem

@@ -1,0 +1,1 @@
+lib/ptrtrack/registry.mli: Alloc

@@ -1,0 +1,33 @@
+(** CRCount baseline (Shin et al., NDSS 2019): pointer invalidation by
+    reference counting (Section 6.6).
+
+    Compiler-maintained instrumentation keeps an exact reference count
+    per allocation: every instrumented pointer store decrements the old
+    target's count and increments the new one. [free] only marks the
+    allocation as freed by the programmer; deallocation happens when the
+    count reaches zero. Freed allocations are zero-filled, which drops
+    the counts of everything they pointed to (the same insight
+    MineSweeper's zeroing builds on, as the paper notes).
+
+    The characteristic cost is on the write path — every pointer store
+    pays, even in benchmarks that barely allocate (the paper calls out
+    mcf and povray). *)
+
+type t
+
+val create : Alloc.Machine.t -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+
+val on_pointer_write : t -> slot:int -> old_value:int -> value:int -> unit
+
+val refcount : t -> int -> int
+(** Current count for a live or pending allocation base. *)
+
+val is_pending : t -> int -> bool
+(** Freed by the programmer but still referenced. *)
+
+val pending_bytes : t -> int
+val live_bytes : t -> int
+val metadata_bytes : t -> int
+val heap : t -> Alloc.Jemalloc.t

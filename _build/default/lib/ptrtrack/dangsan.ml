@@ -1,0 +1,82 @@
+(* Density-scaled like Crcount.write_cycles; DangSan's append is cheap
+   per store but fires far more often than the trace materialises. *)
+let write_cycles = 195
+let entry_free_cycles = 4 (* processing one log entry at deallocation *)
+(* Real DangSan keeps per-thread multi-level log tables; the per-entry
+   figure below carries both that structure and the density scaling. *)
+let log_entry_bytes = 256
+
+type t = {
+  machine : Alloc.Machine.t;
+  heap : Alloc.Jemalloc.t;
+  logs : (int, int list ref) Hashtbl.t; (* target base -> slots logged *)
+  mutable total_entries : int;
+}
+
+let create machine =
+  {
+    machine;
+    heap = Alloc.Jemalloc.create machine;
+    logs = Hashtbl.create 4096;
+    total_entries = 0;
+  }
+
+let on_pointer_write t ~slot ~old_value:_ ~value =
+  Alloc.Machine.charge t.machine write_cycles;
+  if Layout.in_heap value then
+    match Alloc.Jemalloc.allocation_containing t.heap value with
+    | Some (base, _) ->
+      let log =
+        match Hashtbl.find_opt t.logs base with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace t.logs base l;
+          l
+      in
+      (* Opportunistic de-duplication: skip if this slot was the last
+         one logged (DangSan's cheap same-pointer filter). *)
+      (match !log with
+      | last :: _ when last = slot -> ()
+      | _ ->
+        log := slot :: !log;
+        t.total_entries <- t.total_entries + 1)
+    | None -> ()
+
+let malloc t size = Alloc.Jemalloc.malloc t.heap size
+
+let free t addr =
+  let mem = t.machine.Alloc.Machine.mem in
+  (match Hashtbl.find_opt t.logs addr with
+  | None -> ()
+  | Some log ->
+    let entries = List.length !log in
+    Alloc.Machine.charge t.machine (entries * entry_free_cycles);
+    let usable = Alloc.Jemalloc.usable_size t.heap addr in
+    List.iter
+      (fun slot ->
+        (* Stale entries are expected: only nullify slots that still
+           point into the object being freed. *)
+        if
+          Vmem.is_mapped mem slot
+          && Vmem.is_committed mem slot
+          && Vmem.protection mem slot = Vmem.Read_write
+        then begin
+          let v = Vmem.load mem slot in
+          if v >= addr && v < addr + usable then Vmem.store mem slot 0
+        end)
+      !log;
+    t.total_entries <- t.total_entries - entries;
+    Hashtbl.remove t.logs addr);
+  Alloc.Jemalloc.free t.heap addr
+
+let log_entries t = t.total_entries
+
+let log_entries_for t base =
+  match Hashtbl.find_opt t.logs base with
+  | None -> 0
+  | Some log -> List.length !log
+
+let live_bytes t = Alloc.Jemalloc.live_bytes t.heap
+let metadata_bytes t = t.total_entries * log_entry_bytes
+let heap t = t.heap

@@ -1,0 +1,26 @@
+(** DangSan baseline (van der Kouwe, Nigade & Giuffrida, EuroSys 2017):
+    log-based pointer tracking (Section 6.4).
+
+    DangSan's observation: pointer metadata is written on every pointer
+    store but read only once, at deallocation. So the write path is a
+    cheap append to a per-target log (with only opportunistic
+    de-duplication), and [free] walks the target's log, nullifying every
+    recorded location that still points at the object, then deallocates
+    immediately. The price is the logs' memory: they grow with pointer-
+    store volume, not with live data — the source of DangSan's extreme
+    memory overheads on pointer-heavy benchmarks (Figure 10). *)
+
+type t
+
+val create : Alloc.Machine.t -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+val on_pointer_write : t -> slot:int -> old_value:int -> value:int -> unit
+
+val log_entries : t -> int
+(** Total log records currently held (the memory-overhead driver). *)
+
+val log_entries_for : t -> int -> int
+val live_bytes : t -> int
+val metadata_bytes : t -> int
+val heap : t -> Alloc.Jemalloc.t

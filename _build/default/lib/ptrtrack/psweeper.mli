@@ -1,0 +1,32 @@
+(** pSweeper baseline (Liu, Zhang & Wang, CCS 2018): concurrent pointer
+    sweeping with deferred deallocation (Section 6.4).
+
+    A live-pointer table records every instrumented pointer store. A
+    background thread periodically sweeps the *table* (not memory):
+    entries whose target has been freed are nullified in place, and a
+    freed allocation is deallocated only after the first full sweep that
+    follows its [free] — so no dangling pointer can survive a
+    deallocation. The paper's comparison point is the 1-second sweep
+    period ("pSweeper-1s"). *)
+
+type t
+
+val create : ?period_cycles:int -> Alloc.Machine.t -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+val on_pointer_write : t -> slot:int -> old_value:int -> value:int -> unit
+
+val tick : t -> unit
+(** Run the background sweep when its period has elapsed. *)
+
+val drain : t -> unit
+(** Force a final sweep (end of run). *)
+
+val sweeps : t -> int
+val is_deferred : t -> int -> bool
+(** Freed but awaiting its deallocation sweep. *)
+
+val deferred_bytes : t -> int
+val live_bytes : t -> int
+val metadata_bytes : t -> int
+val heap : t -> Alloc.Jemalloc.t

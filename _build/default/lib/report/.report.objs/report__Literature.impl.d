@@ -1,0 +1,1 @@
+lib/report/literature.ml: List Option

@@ -1,0 +1,1 @@
+lib/report/summary.ml: Float Format List

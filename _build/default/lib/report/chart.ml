@@ -1,0 +1,84 @@
+let bar_char = '#'
+
+let bars ?(width = 50) ?(baseline = 1.0) items =
+  let max_value =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) baseline items
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun (label, v) ->
+      let cells = int_of_float (v /. max_value *. float_of_int width) in
+      Buffer.add_string buffer
+        (Printf.sprintf "%-*s %7.3f %s\n" label_width label v
+           (String.make (max 0 cells) bar_char)))
+    items;
+  Buffer.contents buffer
+
+let grouped_bars ?(width = 46) ~series items =
+  let max_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      1.0 items
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+    |> max
+         (List.fold_left (fun acc s -> max acc (String.length s)) 0 series)
+  in
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun (group, values) ->
+      Buffer.add_string buffer (Printf.sprintf "%s\n" group);
+      List.iteri
+        (fun i v ->
+          let name = try List.nth series i with Failure _ -> "?" in
+          let cells = int_of_float (v /. max_value *. float_of_int width) in
+          Buffer.add_string buffer
+            (Printf.sprintf "  %-*s %7.3f %s\n" label_width name v
+               (String.make (max 0 cells) bar_char)))
+        values)
+    items;
+  Buffer.contents buffer
+
+let line ?(width = 72) ?(height = 16) ~series () =
+  let all_points = List.concat_map (fun (_, a) -> Array.to_list a) series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | _ ->
+    let xmax = List.fold_left (fun acc (x, _) -> Float.max acc x) 0. all_points in
+    let xmin = List.fold_left (fun acc (x, _) -> Float.min acc x) max_float all_points in
+    let ymax = List.fold_left (fun acc (_, y) -> Float.max acc y) 0. all_points in
+    let grid = Array.make_matrix height width ' ' in
+    let glyphs = [| '*'; 'o'; '+'; 'x'; '~' |] in
+    List.iteri
+      (fun si (_, points) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let xr = if xmax = xmin then 0. else (x -. xmin) /. (xmax -. xmin) in
+            let col = min (width - 1) (int_of_float (xr *. float_of_int (width - 1))) in
+            let yr = if ymax = 0. then 0. else y /. ymax in
+            let row =
+              height - 1 - min (height - 1) (int_of_float (yr *. float_of_int (height - 1)))
+            in
+            grid.(row).(col) <- glyph)
+          points)
+      series;
+    let buffer = Buffer.create 4096 in
+    Buffer.add_string buffer (Printf.sprintf "ymax = %.2f\n" ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buffer "|";
+        Array.iter (Buffer.add_char buffer) row;
+        Buffer.add_char buffer '\n')
+      grid;
+    Buffer.add_string buffer ("+" ^ String.make width '-' ^ "\n");
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buffer
+          (Printf.sprintf "  %c = %s\n" glyphs.(si mod Array.length glyphs) name))
+      series;
+    Buffer.contents buffer

@@ -1,0 +1,16 @@
+(** ASCII charts for terminal reproduction of the paper's figures. *)
+
+val bars :
+  ?width:int -> ?baseline:float -> (string * float) list -> string
+(** Horizontal bar chart of ratios; [baseline] (default 1.0) draws the
+    no-overhead reference. *)
+
+val grouped_bars :
+  ?width:int -> series:string list -> (string * float list) list -> string
+(** One group of bars per row (a benchmark), one bar per series (a
+    scheme) — the layout of Figures 7, 9, 10, 18, 19. *)
+
+val line :
+  ?width:int -> ?height:int ->
+  series:(string * (float * float) array) list -> unit -> string
+(** Overlaid x/y line plots (Figure 8: memory over normalised time). *)

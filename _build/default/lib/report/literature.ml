@@ -1,0 +1,118 @@
+type cve_year = {
+  year : int;
+  uaf_count : int;
+  proportion_percent : float;
+}
+
+(* Figure 1a: CWE-415/416 reports per year in the NVD. *)
+let nvd_uaf =
+  [
+    { year = 2012; uaf_count = 130; proportion_percent = 2.5 };
+    { year = 2013; uaf_count = 140; proportion_percent = 2.7 };
+    { year = 2014; uaf_count = 160; proportion_percent = 2.0 };
+    { year = 2015; uaf_count = 265; proportion_percent = 3.3 };
+    { year = 2016; uaf_count = 320; proportion_percent = 3.2 };
+    { year = 2017; uaf_count = 345; proportion_percent = 2.3 };
+    { year = 2018; uaf_count = 400; proportion_percent = 2.4 };
+    { year = 2019; uaf_count = 560; proportion_percent = 3.2 };
+  ]
+
+(* Figure 1b: use-after-frees in the Linux kernel. *)
+let linux_uaf =
+  [
+    { year = 2016; uaf_count = 8; proportion_percent = 3.7 };
+    { year = 2017; uaf_count = 12; proportion_percent = 2.7 };
+    { year = 2018; uaf_count = 17; proportion_percent = 9.6 };
+    { year = 2019; uaf_count = 27; proportion_percent = 15.9 };
+  ]
+
+let quoted_schemes = [ "Oscar"; "DangSan"; "pSweeper-1s"; "CRCount" ]
+
+(* Digitised from Figure 7. `None` where the original paper did not
+   report the benchmark. *)
+let slowdowns =
+  [
+    ( "Oscar",
+      [
+        ("astar", 1.08); ("bzip2", 1.01); ("dealII", 1.15); ("gcc", 1.40);
+        ("gobmk", 1.03); ("h264ref", 1.05); ("hmmer", 1.01); ("lbm", 1.01);
+        ("libquantum", 1.02); ("mcf", 1.05); ("milc", 1.10); ("namd", 1.01);
+        ("omnetpp", 1.55); ("perlbench", 2.90); ("povray", 1.10);
+        ("sjeng", 1.01); ("sphinx3", 1.15); ("soplex", 1.05);
+        ("xalancbmk", 1.65);
+      ] );
+    ( "DangSan",
+      [
+        ("astar", 1.12); ("bzip2", 1.02); ("dealII", 1.30); ("gcc", 1.60);
+        ("gobmk", 1.05); ("h264ref", 1.05); ("hmmer", 1.02); ("lbm", 1.01);
+        ("libquantum", 1.02); ("mcf", 1.05); ("milc", 1.08); ("namd", 1.02);
+        ("omnetpp", 2.20); ("perlbench", 4.60); ("povray", 1.30);
+        ("sjeng", 1.02); ("sphinx3", 1.18); ("soplex", 1.10);
+        ("xalancbmk", 2.10);
+      ] );
+    ( "pSweeper-1s",
+      [
+        ("astar", 1.10); ("bzip2", 1.02); ("dealII", 1.28); ("gcc", 1.50);
+        ("gobmk", 1.04); ("h264ref", 1.04); ("hmmer", 1.02); ("lbm", 1.02);
+        ("libquantum", 1.02); ("mcf", 1.25); ("milc", 1.08); ("namd", 1.02);
+        ("omnetpp", 1.70); ("perlbench", 4.20); ("povray", 1.25);
+        ("sjeng", 1.02); ("sphinx3", 1.20); ("soplex", 1.08);
+        ("xalancbmk", 1.90);
+      ] );
+    ( "CRCount",
+      [
+        ("astar", 1.08); ("bzip2", 1.02); ("dealII", 1.18); ("gcc", 1.35);
+        ("gobmk", 1.04); ("h264ref", 1.04); ("hmmer", 1.02); ("lbm", 1.02);
+        ("libquantum", 1.02); ("mcf", 1.25); ("milc", 1.06); ("namd", 1.02);
+        ("omnetpp", 1.30); ("perlbench", 4.10); ("povray", 1.22);
+        ("sjeng", 1.02); ("sphinx3", 1.12); ("soplex", 1.06);
+        ("xalancbmk", 1.40);
+      ] );
+  ]
+
+(* Digitised from Figure 10 (average memory overhead). *)
+let memory_overheads =
+  [
+    ( "Oscar",
+      [
+        ("astar", 1.10); ("bzip2", 1.02); ("dealII", 1.15); ("gcc", 1.60);
+        ("gobmk", 1.05); ("h264ref", 1.08); ("hmmer", 1.05); ("lbm", 1.01);
+        ("libquantum", 1.02); ("mcf", 1.05); ("milc", 1.10); ("namd", 1.02);
+        ("omnetpp", 1.45); ("perlbench", 6.50); ("povray", 1.15);
+        ("sjeng", 1.02); ("sphinx3", 1.25); ("soplex", 1.10);
+        ("xalancbmk", 1.70);
+      ] );
+    ( "DangSan",
+      [
+        ("astar", 1.80); ("bzip2", 1.10); ("dealII", 2.80); ("gcc", 22.0);
+        ("gobmk", 1.30); ("h264ref", 1.40); ("hmmer", 1.20); ("lbm", 1.05);
+        ("libquantum", 1.10); ("mcf", 1.30); ("milc", 1.40); ("namd", 1.15);
+        ("omnetpp", 4.20); ("perlbench", 135.0); ("povray", 1.80);
+        ("sjeng", 1.10); ("sphinx3", 1.90); ("soplex", 1.40);
+        ("xalancbmk", 3.50);
+      ] );
+    ( "pSweeper-1s",
+      [
+        ("astar", 1.40); ("bzip2", 1.08); ("dealII", 1.90); ("gcc", 2.60);
+        ("gobmk", 1.15); ("h264ref", 1.20); ("hmmer", 1.10); ("lbm", 1.04);
+        ("libquantum", 1.08); ("mcf", 1.30); ("milc", 1.25); ("namd", 1.08);
+        ("omnetpp", 2.40); ("perlbench", 9.00); ("povray", 1.45);
+        ("sjeng", 1.06); ("sphinx3", 1.50); ("soplex", 1.25);
+        ("xalancbmk", 2.20);
+      ] );
+    ( "CRCount",
+      [
+        ("astar", 1.25); ("bzip2", 1.05); ("dealII", 1.50); ("gcc", 1.90);
+        ("gobmk", 1.10); ("h264ref", 1.15); ("hmmer", 1.08); ("lbm", 1.03);
+        ("libquantum", 1.05); ("mcf", 1.20); ("milc", 1.18); ("namd", 1.05);
+        ("omnetpp", 1.80); ("perlbench", 3.50); ("povray", 1.30);
+        ("sjeng", 1.05); ("sphinx3", 1.35); ("soplex", 1.18);
+        ("xalancbmk", 1.90);
+      ] );
+  ]
+
+let lookup table ~scheme ~bench =
+  Option.bind (List.assoc_opt scheme table) (List.assoc_opt bench)
+
+let slowdown ~scheme ~bench = lookup slowdowns ~scheme ~bench
+let memory_overhead ~scheme ~bench = lookup memory_overheads ~scheme ~bench

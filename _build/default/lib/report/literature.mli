@@ -1,0 +1,30 @@
+(** Published data points quoted by the paper.
+
+    Two kinds of series live here:
+    - Figure 1's vulnerability counts (National Vulnerability Database);
+    - the per-benchmark overheads of Oscar, DangSan, pSweeper-1s and
+      CRCount, which the paper itself quotes from those systems' papers
+      rather than re-running (Section 5.1). Values are digitised from
+      Figures 7 and 10 and are approximate by nature; they exist so the
+      comparison figures can be regenerated in full. *)
+
+type cve_year = {
+  year : int;
+  uaf_count : int;
+  proportion_percent : float;
+}
+
+val nvd_uaf : cve_year list
+(** CWE-415/416 reports in the NVD, 2012-2019 (Figure 1a). *)
+
+val linux_uaf : cve_year list
+(** Use-after-free vulnerabilities in the Linux kernel (Figure 1b). *)
+
+val quoted_schemes : string list
+(** ["Oscar"; "DangSan"; "pSweeper-1s"; "CRCount"] in figure order. *)
+
+val slowdown : scheme:string -> bench:string -> float option
+(** Digitised Figure 7 value, if that paper reported the benchmark. *)
+
+val memory_overhead : scheme:string -> bench:string -> float option
+(** Digitised Figure 10 value. *)

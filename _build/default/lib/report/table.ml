@@ -1,0 +1,52 @@
+type t = {
+  columns : string list;
+  mutable rows : (string * string list) list; (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let fmt_value v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let add_row t label values =
+  t.rows <- (label, List.map fmt_value values) :: t.rows
+
+let add_text_row t label cells = t.rows <- (label, cells) :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all =
+    match t.columns with
+    | [] -> rows
+    | label :: rest -> (label, rest) :: rows
+  in
+  let ncols =
+    List.fold_left (fun acc (_, cells) -> max acc (List.length cells)) 0 all
+  in
+  let width_of_col i =
+    List.fold_left
+      (fun acc (_, cells) ->
+        match List.nth_opt cells i with
+        | Some c -> max acc (String.length c)
+        | None -> acc)
+      0 all
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 all
+  in
+  let widths = List.init ncols width_of_col in
+  let buffer = Buffer.create 1024 in
+  let emit (label, cells) =
+    Buffer.add_string buffer (Printf.sprintf "%-*s" label_width label);
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_string buffer (Printf.sprintf "  %*s" w cell))
+      cells;
+    (* Pad missing cells so ragged rows stay aligned. *)
+    Buffer.add_char buffer '\n'
+  in
+  List.iter emit all;
+  Buffer.contents buffer

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+type t
+
+val create : columns:string list -> t
+(** First column is the row label. *)
+
+val add_row : t -> string -> float list -> unit
+(** Values are rendered with three decimals (one decimal above 10). *)
+
+val add_text_row : t -> string -> string list -> unit
+
+val render : t -> string
+(** Aligned, ready to print. *)

@@ -1,0 +1,29 @@
+type t = {
+  mutable app : int;
+  mutable stalls : int;
+  mutable bg : int;
+}
+
+let create () = { app = 0; stalls = 0; bg = 0 }
+
+let advance t n =
+  assert (n >= 0);
+  t.app <- t.app + n
+
+let stall t n =
+  assert (n >= 0);
+  t.stalls <- t.stalls + n
+
+let background t n =
+  assert (n >= 0);
+  t.bg <- t.bg + n
+
+let now t = t.app + t.stalls
+let wall = now
+let app_busy t = t.app
+let background_busy t = t.bg
+let stalled t = t.stalls
+
+let cpu_utilisation t =
+  let w = now t in
+  if w = 0 then 1.0 else float_of_int (t.app + t.bg) /. float_of_int w

@@ -1,0 +1,38 @@
+(** Simulated time and CPU accounting.
+
+    The simulation is logically sequential, but cycles are attributed to
+    either the application thread(s) or background (sweeper) threads.
+    Wall-clock time is the application timeline: application work and
+    stalls (stop-the-world pauses, allocation pauses) advance it, while
+    background work only accumulates busy cycles. This reproduces the
+    paper's three reported axes: slowdown (wall ratio), CPU-utilisation
+    overhead (busy / wall) and lets concurrent sweeps overlap the
+    application for free except where they stall it. *)
+
+type t
+
+val create : unit -> t
+
+val advance : t -> int -> unit
+(** Application work: advances wall time and application busy cycles. *)
+
+val stall : t -> int -> unit
+(** Application blocked (stop-the-world, allocation pause): advances wall
+    time only. *)
+
+val background : t -> int -> unit
+(** Busy cycles on a background thread; wall time is unaffected. *)
+
+val now : t -> int
+(** Current wall-clock position in cycles. *)
+
+val wall : t -> int
+(** Synonym of {!now}, for end-of-run reporting. *)
+
+val app_busy : t -> int
+val background_busy : t -> int
+val stalled : t -> int
+
+val cpu_utilisation : t -> float
+(** (application busy + background busy) / wall; 1.0 for an unprotected
+    single-threaded run. *)

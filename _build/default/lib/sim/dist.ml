@@ -1,0 +1,65 @@
+type t =
+  | Constant of int
+  | Uniform of int * int
+  | Exponential of float
+  | Pareto of float * int * int
+  | Choice of (float * t) array * float (* branches, total weight *)
+  | Shifted of int * t
+
+let constant n = Constant n
+
+let uniform ~lo ~hi =
+  assert (lo <= hi);
+  Uniform (lo, hi)
+
+let exponential ~mean =
+  assert (mean > 0.);
+  Exponential mean
+
+let pareto ~shape ~scale ~cap =
+  assert (shape > 0. && scale > 0 && cap >= scale);
+  Pareto (shape, scale, cap)
+
+let choice branches =
+  let branches = Array.of_list branches in
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0. branches in
+  assert (total > 0.);
+  Choice (branches, total)
+
+let shifted k d = Shifted (k, d)
+
+let rec sample t rng =
+  match t with
+  | Constant n -> n
+  | Uniform (lo, hi) -> lo + Rng.int rng (hi - lo + 1)
+  | Exponential mean ->
+    let u = 1.0 -. Rng.float rng 1.0 in
+    max 1 (int_of_float (-.mean *. log u))
+  | Pareto (shape, scale, cap) ->
+    let u = 1.0 -. Rng.float rng 1.0 in
+    let x = float_of_int scale /. (u ** (1.0 /. shape)) in
+    min cap (int_of_float x)
+  | Choice (branches, total) ->
+    let x = Rng.float rng total in
+    let rec pick i acc =
+      let w, d = branches.(i) in
+      if x < acc +. w || i = Array.length branches - 1 then d
+      else pick (i + 1) (acc +. w)
+    in
+    sample (pick 0 0.) rng
+  | Shifted (k, d) -> k + sample d rng
+
+let rec mean_estimate = function
+  | Constant n -> float_of_int n
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+  | Exponential mean -> mean
+  | Pareto (shape, scale, cap) ->
+    if shape > 1.0 then
+      let m = shape *. float_of_int scale /. (shape -. 1.0) in
+      Float.min m (float_of_int cap)
+    else float_of_int cap /. 2.0
+  | Choice (branches, total) ->
+    Array.fold_left
+      (fun acc (w, d) -> acc +. (w /. total *. mean_estimate d))
+      0. branches
+  | Shifted (k, d) -> float_of_int k +. mean_estimate d

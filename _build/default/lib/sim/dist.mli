@@ -1,0 +1,32 @@
+(** Random-variate distributions used by the workload generators.
+
+    A distribution is a value of type {!t}; sampling always goes through a
+    {!Rng.t} so results stay deterministic. *)
+
+type t
+
+val constant : int -> t
+(** Always returns the same value. *)
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform over the inclusive range [\[lo, hi\]]. *)
+
+val exponential : mean:float -> t
+(** Exponential with the given mean, rounded to int, minimum 1. *)
+
+val pareto : shape:float -> scale:int -> cap:int -> t
+(** Bounded Pareto: heavy-tailed sizes/lifetimes, truncated at [cap]. *)
+
+val choice : (float * t) list -> t
+(** Mixture distribution: pick a branch with the given weights (weights
+    need not sum to one; they are normalised). *)
+
+val shifted : int -> t -> t
+(** [shifted k d] samples [d] and adds [k]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one variate. Results are always [>= 0] for the built-in
+    constructors with non-negative parameters. *)
+
+val mean_estimate : t -> float
+(** Analytic or approximate mean, used for sizing simulations a priori. *)

@@ -1,0 +1,33 @@
+(* SplitMix64 (Steele, Lea, Flood 2014), truncated to OCaml's 63-bit ints.
+   Chosen for speed, statistical quality and trivially splittable streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = next64 t }
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let word t = Int64.to_int (Int64.shift_right_logical (next64 t) 1)
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let float t bound =
+  let x = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  bound *. (float_of_int x /. 9007199254740992.0)
+
+let bool t p = float t 1.0 < p

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    All randomness in the reproduction flows through this SplitMix64
+    generator so that every experiment is exactly reproducible from its
+    seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created from
+    the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each benchmark / thread its own stream. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)]. [bound] must
+    be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val word : t -> int
+(** [word t] returns a full 63-bit pattern (may be "negative" when viewed
+    as an OCaml int); used to synthesise arbitrary non-pointer data. *)

@@ -1,0 +1,67 @@
+type t = {
+  mutable times : int array;
+  mutable values : int array;
+  mutable len : int;
+}
+
+let create () = { times = Array.make 1024 0; values = Array.make 1024 0; len = 0 }
+
+let ensure_capacity t =
+  if t.len = Array.length t.times then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    t.times <- grow t.times;
+    t.values <- grow t.values
+  end
+
+let record t ~now ~rss =
+  assert (t.len = 0 || now >= t.times.(t.len - 1));
+  ensure_capacity t;
+  t.times.(t.len) <- now;
+  t.values.(t.len) <- rss;
+  t.len <- t.len + 1
+
+let peak t =
+  let best = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.values.(i) > !best then best := t.values.(i)
+  done;
+  !best
+
+let average t =
+  if t.len = 0 then 0.
+  else if t.len = 1 then float_of_int t.values.(0)
+  else begin
+    (* Trapezoidal time-weighted mean over the sampled trace. *)
+    let weighted = ref 0. in
+    for i = 1 to t.len - 1 do
+      let dt = float_of_int (t.times.(i) - t.times.(i - 1)) in
+      let mid = float_of_int (t.values.(i) + t.values.(i - 1)) /. 2. in
+      weighted := !weighted +. (dt *. mid)
+    done;
+    let span = float_of_int (t.times.(t.len - 1) - t.times.(0)) in
+    if span <= 0. then float_of_int t.values.(t.len - 1)
+    else !weighted /. span
+  end
+
+let samples t = Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
+
+let normalised t ~points =
+  if t.len = 0 then [||]
+  else begin
+    let t0 = t.times.(0) and t1 = t.times.(t.len - 1) in
+    let span = max 1 (t1 - t0) in
+    let value_at time =
+      (* Last sample at or before [time]; the trace is a step function. *)
+      let rec search lo hi =
+        if lo >= hi then t.values.(lo)
+        else
+          let mid = (lo + hi + 1) / 2 in
+          if t.times.(mid) <= time then search mid hi else search lo (mid - 1)
+      in
+      search 0 (t.len - 1)
+    in
+    Array.init points (fun i ->
+        let frac = float_of_int i /. float_of_int (max 1 (points - 1)) in
+        let time = t0 + int_of_float (frac *. float_of_int span) in
+        (frac, value_at time))
+  end

@@ -1,0 +1,27 @@
+(** Memory-usage-over-time sampling (the simulation's PSRecord).
+
+    The paper collects resident-set-size traces with PSRecord and reports
+    both the time-weighted average and the peak (Figures 8 and 11). The
+    runner records a sample whenever it chooses; averages are weighted by
+    the wall-time distance between consecutive samples. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> now:int -> rss:int -> unit
+(** Add a sample: resident bytes [rss] at wall time [now] (cycles).
+    Samples must be recorded with non-decreasing [now]. *)
+
+val peak : t -> int
+(** Largest recorded RSS, 0 if empty. *)
+
+val average : t -> float
+(** Time-weighted mean RSS, 0 if fewer than one sample. *)
+
+val samples : t -> (int * int) array
+(** All samples in recording order, as [(wall_cycles, rss_bytes)]. *)
+
+val normalised : t -> points:int -> (float * int) array
+(** Resample onto [points] equally spaced positions of normalised time
+    [0..1] — the x-axis used by Figure 8. *)

@@ -1,0 +1,1 @@
+lib/vmem/layout.ml:

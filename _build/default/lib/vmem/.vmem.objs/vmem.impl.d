@@ -1,0 +1,1 @@
+lib/vmem/vmem.ml: Bytes Hashtbl Int64

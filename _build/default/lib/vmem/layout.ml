@@ -1,0 +1,13 @@
+let globals_base = 0x1000_0000
+let globals_size = 16 * 4096 (* 64 KiB of globals *)
+
+let stack_base = 0x2000_0000
+let stack_size = 80 * 4096 (* 320 KiB of active stack *)
+
+let heap_base = 0x4000_0000
+let heap_limit = 0x40_0000_0000 (* 255 GiB of heap address space *)
+
+let in_heap addr = addr >= heap_base && addr < heap_limit
+
+let root_regions =
+  [ (globals_base, globals_size); (stack_base, stack_size) ]

@@ -1,0 +1,24 @@
+(** Address-space layout of the simulated process.
+
+    Fixed, disjoint regions for globals, the stack and the heap. Sweeps
+    cover all three (Section 4.4: "heap, stack and globals"); the shadow
+    map only needs to span the heap, because only heap allocations are
+    quarantined. *)
+
+val globals_base : int
+val globals_size : int
+
+val stack_base : int
+val stack_size : int
+
+val heap_base : int
+val heap_limit : int
+(** Exclusive upper bound for heap extents; pointers outside
+    [heap_base, heap_limit) can never refer to a quarantined allocation
+    and are filtered out for free during sweeps. *)
+
+val in_heap : int -> bool
+(** Whether a word value could be a pointer into the heap region. *)
+
+val root_regions : (int * int) list
+(** The non-heap regions [(base, size)] that contain application roots. *)

@@ -1,0 +1,225 @@
+type prot =
+  | No_access
+  | Read_only
+  | Read_write
+
+type fault_kind =
+  | Unmapped_access
+  | Protection_violation
+
+exception Fault of fault_kind * int
+
+let page_size = 4096
+let word_size = 8
+let granule = 16
+
+type page = {
+  mutable data : Bytes.t option; (* None while decommitted *)
+  mutable prot : prot;
+  mutable soft_dirty : bool;
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t; (* keyed by page index *)
+  mutable committed : int; (* resident bytes *)
+  mutable demand_commit_hook : pages:int -> unit;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 4096;
+    committed = 0;
+    demand_commit_hook = (fun ~pages:_ -> ());
+  }
+
+let set_demand_commit_hook t f = t.demand_commit_hook <- f
+
+let page_index addr = addr / page_size
+let page_base addr = addr - (addr mod page_size)
+
+let check_page_range addr len =
+  assert (len > 0);
+  assert (addr mod page_size = 0);
+  assert (len mod page_size = 0)
+
+let iter_page_indices ~addr ~len f =
+  let first = page_index addr in
+  let last = page_index (addr + len - 1) in
+  for i = first to last do
+    f i
+  done
+
+let map t ~addr ~len =
+  check_page_range addr len;
+  iter_page_indices ~addr ~len (fun i ->
+      assert (not (Hashtbl.mem t.pages i));
+      Hashtbl.replace t.pages i
+        { data = Some (Bytes.make page_size '\000');
+          prot = Read_write;
+          soft_dirty = false };
+      t.committed <- t.committed + page_size)
+
+let unmap t ~addr ~len =
+  check_page_range addr len;
+  iter_page_indices ~addr ~len (fun i ->
+      match Hashtbl.find_opt t.pages i with
+      | None -> ()
+      | Some p ->
+        if p.data <> None then t.committed <- t.committed - page_size;
+        Hashtbl.remove t.pages i)
+
+let find_page t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault (Unmapped_access, addr))
+  | Some p -> p
+
+let decommit t ~addr ~len =
+  check_page_range addr len;
+  iter_page_indices ~addr ~len (fun i ->
+      let p =
+        match Hashtbl.find_opt t.pages i with
+        | None -> raise (Fault (Unmapped_access, i * page_size))
+        | Some p -> p
+      in
+      if p.data <> None then begin
+        p.data <- None;
+        t.committed <- t.committed - page_size
+      end)
+
+let commit_page t p =
+  if p.data = None then begin
+    p.data <- Some (Bytes.make page_size '\000');
+    t.committed <- t.committed + page_size
+  end
+
+let commit t ~addr ~len =
+  check_page_range addr len;
+  iter_page_indices ~addr ~len (fun i ->
+      match Hashtbl.find_opt t.pages i with
+      | None -> raise (Fault (Unmapped_access, i * page_size))
+      | Some p -> commit_page t p)
+
+let protect t ~addr ~len prot =
+  check_page_range addr len;
+  iter_page_indices ~addr ~len (fun i ->
+      match Hashtbl.find_opt t.pages i with
+      | None -> raise (Fault (Unmapped_access, i * page_size))
+      | Some p -> p.prot <- prot)
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let is_committed t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> false
+  | Some p -> p.data <> None
+
+let protection t addr = (find_page t addr).prot
+
+(* Demand-commit on access: a decommitted-but-accessible page behaves like
+   madvise(DONTNEED)'d memory — the OS hands back a zeroed page. *)
+let readable_page t addr =
+  let p = find_page t addr in
+  (match p.prot with
+  | No_access -> raise (Fault (Protection_violation, addr))
+  | Read_only | Read_write -> ());
+  if p.data = None then begin
+    commit_page t p;
+    t.demand_commit_hook ~pages:1
+  end;
+  p
+
+let writable_page t addr =
+  let p = find_page t addr in
+  (match p.prot with
+  | No_access | Read_only -> raise (Fault (Protection_violation, addr))
+  | Read_write -> ());
+  if p.data = None then begin
+    commit_page t p;
+    t.demand_commit_hook ~pages:1
+  end;
+  p
+
+let page_bytes p =
+  match p.data with
+  | Some b -> b
+  | None -> assert false
+
+let load t addr =
+  assert (addr mod word_size = 0);
+  let p = readable_page t addr in
+  Int64.to_int (Bytes.get_int64_le (page_bytes p) (addr mod page_size))
+
+let store t addr w =
+  assert (addr mod word_size = 0);
+  let p = writable_page t addr in
+  Bytes.set_int64_le (page_bytes p) (addr mod page_size) (Int64.of_int w);
+  p.soft_dirty <- true
+
+let zero_range t ~addr ~len =
+  if len > 0 then begin
+    let finish = addr + len in
+    let pos = ref addr in
+    while !pos < finish do
+      let p = writable_page t !pos in
+      let off = !pos mod page_size in
+      let n = min (page_size - off) (finish - !pos) in
+      Bytes.fill (page_bytes p) off n '\000';
+      p.soft_dirty <- true;
+      pos := !pos + n
+    done
+  end
+
+let committed_bytes t = t.committed
+
+let mapped_bytes t = Hashtbl.length t.pages * page_size
+
+let iter_committed_words t ~addr ~len f =
+  if len > 0 then begin
+    let finish = addr + len in
+    let pos = ref (page_base addr) in
+    if !pos < addr then pos := addr;
+    (* Walk page by page; words are always page-aligned chunks so a word
+       never straddles two pages. *)
+    let pos = ref !pos in
+    while !pos < finish do
+      let next_page = page_base !pos + page_size in
+      let chunk_end = min next_page finish in
+      (match Hashtbl.find_opt t.pages (page_index !pos) with
+      | Some { data = Some bytes; prot = Read_only | Read_write; _ } ->
+        let off0 = !pos mod page_size in
+        let words = (chunk_end - !pos) / word_size in
+        for k = 0 to words - 1 do
+          let off = off0 + (k * word_size) in
+          let w = Int64.to_int (Bytes.get_int64_le bytes off) in
+          f (page_base !pos + off) w
+        done
+      | Some _ | None -> ());
+      pos := chunk_end
+    done
+  end
+
+let iter_readable_pages t f =
+  Hashtbl.iter
+    (fun i p ->
+      match p with
+      | { data = Some bytes; prot = Read_only | Read_write; _ } ->
+        f (i * page_size) bytes
+      | { data = None; _ } | { prot = No_access; _ } -> ())
+    t.pages
+
+let readable_bytes t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      match p with
+      | { data = Some _; prot = Read_only | Read_write; _ } -> acc + page_size
+      | { data = None; _ } | { prot = No_access; _ } -> acc)
+    t.pages 0
+
+let clear_soft_dirty t =
+  Hashtbl.iter (fun _ p -> p.soft_dirty <- false) t.pages
+
+let soft_dirty_pages t =
+  Hashtbl.fold (fun _ p acc -> if p.soft_dirty then acc + 1 else acc) t.pages 0
+
+let iter_soft_dirty_pages t f =
+  Hashtbl.iter (fun i p -> if p.soft_dirty then f (i * page_size)) t.pages

@@ -1,0 +1,110 @@
+(** Simulated virtual memory.
+
+    This is the substrate the whole reproduction runs on: a paged, sparse
+    64-bit-style address space with the operations MineSweeper needs from
+    the OS — map/unmap, commit/decommit of physical backing, page
+    protection, soft-dirty tracking (Linux's [/proc/pid/pagemap] feature
+    used by the mostly-concurrent mode) and resident-set accounting.
+
+    Addresses are plain OCaml [int]s. Loads and stores operate on aligned
+    8-byte words so that sweeps can interpret every word of memory as a
+    potential pointer, exactly as the paper does. *)
+
+type t
+
+type prot =
+  | No_access
+  | Read_only
+  | Read_write
+
+type fault_kind =
+  | Unmapped_access
+  | Protection_violation
+
+exception Fault of fault_kind * int
+(** Raised on an access the simulated MMU refuses; carries the faulting
+    address. A use-after-free on an unmapped quarantined page surfaces as
+    this exception — the "clean termination" of Section 2. *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val word_size : int
+(** 8 bytes. *)
+
+val granule : int
+(** 16 bytes — the smallest allocation granule, one shadow-map bit each. *)
+
+val create : unit -> t
+
+val set_demand_commit_hook : t -> (pages:int -> unit) -> unit
+(** Called whenever an access demand-commits decommitted pages, so the
+    caller can charge page-fault costs. *)
+
+(** {1 Mapping and physical backing} *)
+
+val map : t -> addr:int -> len:int -> unit
+(** Reserve and commit a page-aligned range. Fresh pages are zeroed. *)
+
+val unmap : t -> addr:int -> len:int -> unit
+(** Remove the range entirely; later accesses fault. *)
+
+val decommit : t -> addr:int -> len:int -> unit
+(** Drop the physical backing (contents are lost) but keep the range
+    mapped. A later access demand-commits zeroed pages — unless the range
+    is also protected [No_access]. *)
+
+val commit : t -> addr:int -> len:int -> unit
+(** Restore physical backing (zeroed) for a decommitted range. *)
+
+val protect : t -> addr:int -> len:int -> prot -> unit
+
+val is_mapped : t -> int -> bool
+val is_committed : t -> int -> bool
+val protection : t -> int -> prot
+(** [protection t addr] — the page must be mapped. *)
+
+(** {1 Word access} *)
+
+val load : t -> int -> int
+(** [load t addr] reads the aligned word at [addr]. *)
+
+val store : t -> int -> int -> unit
+(** [store t addr w] writes [w] at the aligned address [addr] and marks
+    the page soft-dirty. *)
+
+val zero_range : t -> addr:int -> len:int -> unit
+(** Zero an arbitrary byte range (must be mapped and writable). *)
+
+(** {1 Accounting} *)
+
+val committed_bytes : t -> int
+(** Resident set size of the simulated process. *)
+
+val mapped_bytes : t -> int
+
+(** {1 Sweeping support} *)
+
+val iter_committed_words :
+  t -> addr:int -> len:int -> (int -> int -> unit) -> unit
+(** [iter_committed_words t ~addr ~len f] calls [f address word] for every
+    aligned word in the committed, readable portion of the range.
+    Decommitted or [No_access] pages are skipped without faulting — this
+    is how sweeps avoid touching purged memory (Section 4.5). *)
+
+val iter_readable_pages : t -> (int -> Bytes.t -> unit) -> unit
+(** [iter_readable_pages t f] calls [f page_base bytes] for every
+    committed page that is readable. This is the sweep's view of "all
+    program memory": decommitted and [No_access] (unmapped-in-quarantine)
+    pages are excluded. Iteration order is unspecified. *)
+
+val readable_bytes : t -> int
+(** Total bytes {!iter_readable_pages} would visit. *)
+
+val clear_soft_dirty : t -> unit
+
+val soft_dirty_pages : t -> int
+(** Number of pages written since the last {!clear_soft_dirty}. *)
+
+val iter_soft_dirty_pages : t -> (int -> unit) -> unit
+(** Iterate the start addresses of soft-dirty pages. *)

@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Alloc Array Float Harness Hashtbl Layout List Option Profile Sim Vmem

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Alloc Ffmalloc Markus Minesweeper Ptrtrack Sim

@@ -1,0 +1,1 @@
+lib/workloads/mimalloc_bench.ml: Dist List Profile Sim

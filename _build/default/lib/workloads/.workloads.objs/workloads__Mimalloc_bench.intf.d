@@ -1,0 +1,1 @@
+lib/workloads/mimalloc_bench.mli: Profile

@@ -1,0 +1,1 @@
+lib/workloads/spec2017.ml: Dist List Profile Sim

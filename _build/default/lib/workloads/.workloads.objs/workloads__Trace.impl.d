@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Alloc Array Buffer Fun Harness Hashtbl Layout List Option Printf Profile Sim String Vmem

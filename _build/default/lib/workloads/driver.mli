@@ -1,0 +1,50 @@
+(** The trace runner: executes a {!Profile.t} against a {!Harness.t}
+    stack on a fresh simulated machine and collects the metrics every
+    figure in the paper is built from.
+
+    The runner maintains a real object population in simulated memory:
+    object addresses are written into other live objects and into the
+    stack/globals root regions, cleared (or deliberately left dangling)
+    when objects are freed, and overwritten by background stack churn.
+    Sweeps and marking passes therefore scan genuine reference graphs —
+    failed frees, quarantine growth and protection behaviour all emerge
+    from the memory contents rather than from modelling shortcuts. *)
+
+type result = {
+  benchmark : string;
+  scheme : string;
+  wall : int;  (** application wall time, cycles *)
+  app_busy : int;
+  background_busy : int;
+  stalled : int;
+  cpu_utilisation : float;
+  avg_rss : float;  (** time-weighted average resident bytes *)
+  peak_rss : int;
+  rss_trace : (float * int) array;  (** normalised-time RSS samples *)
+  sweeps : int;
+  failed_frees : int;
+  allocations : int;
+  frees : int;
+  live_bytes_end : int;
+  oom_killed : bool;
+      (** the run exceeded its memory budget and was terminated early —
+          the fate of the paper's unoptimised gcc/milc runs *)
+  extra : (string * float) list;
+}
+
+val run :
+  ?trace_points:int ->
+  ?ops_scale:float ->
+  ?rss_limit:int ->
+  Profile.t ->
+  Harness.scheme ->
+  result
+(** Run one benchmark under one scheme. Deterministic for a given
+    profile seed. [ops_scale] shortens traces for quick runs; a run whose
+    resident set exceeds [rss_limit] (default 768 MiB) is killed and
+    returned with [oom_killed] set. *)
+
+val slowdown : baseline:result -> result -> float
+val memory_overhead : baseline:result -> result -> float
+val peak_memory_overhead : baseline:result -> result -> float
+val cpu_overhead : baseline:result -> result -> float

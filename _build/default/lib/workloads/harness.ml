@@ -1,0 +1,347 @@
+type scheme =
+  | Baseline
+  | Mine_sweeper of Minesweeper.Config.t
+  | Mark_us
+  | Ff_malloc
+  | Scudo_baseline
+  | Scudo_sweeper of Minesweeper.Config.t
+  | Cr_count
+  | P_sweeper
+  | Dang_san
+  | Dl_baseline
+  | Dl_sweeper of Minesweeper.Config.t
+
+(* MineSweeper instantiated over the Scudo backend (Section 7). *)
+module Scudo_ms = Minesweeper.Instance.Make (Alloc.Backends.Scudo_backend)
+
+(* ...and over the in-band-metadata dlmalloc model (Section 2 footnote). *)
+module Dl_ms = Minesweeper.Instance.Make (Alloc.Backends.Dlmalloc_backend)
+
+let scheme_name = function
+  | Baseline -> "baseline"
+  | Mine_sweeper config ->
+    if config = Minesweeper.Config.default then "minesweeper"
+    else if config = Minesweeper.Config.mostly_concurrent then
+      "minesweeper-mostly"
+    else "minesweeper-variant"
+  | Mark_us -> "markus"
+  | Ff_malloc -> "ffmalloc"
+  | Cr_count -> "crcount"
+  | Dl_baseline -> "dlmalloc"
+  | Dl_sweeper config ->
+    if config = Minesweeper.Config.default then "dlmalloc-minesweeper"
+    else "dlmalloc-minesweeper-variant"
+  | P_sweeper -> "psweeper"
+  | Dang_san -> "dangsan"
+  | Scudo_baseline -> "scudo"
+  | Scudo_sweeper config ->
+    if config = Minesweeper.Config.default then "scudo-minesweeper"
+    else "scudo-minesweeper-variant"
+
+type t = {
+  scheme : string;
+  machine : Alloc.Machine.t;
+  malloc : int -> int;
+  free : thread:int -> int -> unit;
+  tick : unit -> unit;
+  drain : unit -> unit;
+  live_bytes : unit -> int;
+  metadata_bytes : unit -> int;
+  cold_penalty : int -> int;
+  is_protected_addr : int -> bool;
+  tolerates_double_free : bool;
+  on_pointer_write : slot:int -> old_value:int -> value:int -> unit;
+  sweeps : unit -> int;
+  failed_frees : unit -> int;
+  extra : unit -> (string * float) list;
+}
+
+let no_pointer_tracking ~slot:_ ~old_value:_ ~value:_ = ()
+
+let quarantine_entry_overhead = 48 (* bytes of metadata per quarantined entry *)
+
+let cold_penalty_fn machine factor =
+  let per_byte = machine.Alloc.Machine.cost.Sim.Cost.cold_alloc_per_byte in
+  fun size ->
+    if factor = 0.0 then 0
+    else int_of_float (factor *. per_byte *. float_of_int (min size 8192))
+
+let decay_interval = 1_000_000
+
+let build scheme ~threads machine =
+  match scheme with
+  | Baseline ->
+    let je = Alloc.Jemalloc.create ~extra_byte:false machine in
+    let last_decay = ref 0 in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Alloc.Jemalloc.malloc je;
+      free = (fun ~thread:_ addr -> Alloc.Jemalloc.free je addr);
+      tick =
+        (fun () ->
+          let n = Alloc.Machine.now machine in
+          if n - !last_decay >= decay_interval then begin
+            last_decay := n;
+            Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+                Alloc.Jemalloc.purge_tick je)
+          end);
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Alloc.Jemalloc.live_bytes je);
+      metadata_bytes = (fun () -> 0);
+      cold_penalty = cold_penalty_fn machine 0.0;
+      is_protected_addr = (fun _ -> false);
+      tolerates_double_free = false;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra = (fun () -> []);
+    }
+  | Mine_sweeper config ->
+    let ms = Minesweeper.Instance.create ~config ~threads machine in
+    let stats = Minesweeper.Instance.stats ms in
+    let factor = if config.Minesweeper.Config.quarantining then 1.0 else 0.0 in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Minesweeper.Instance.malloc ms;
+      free = (fun ~thread addr -> Minesweeper.Instance.free ms ~thread addr);
+      tick = (fun () -> Minesweeper.Instance.tick ms);
+      drain = (fun () -> Minesweeper.Instance.drain ms);
+      live_bytes =
+        (fun () ->
+          Alloc.Jemalloc.live_bytes (Minesweeper.Instance.jemalloc ms));
+      metadata_bytes =
+        (fun () ->
+          (* shadow map + out-of-line quarantine bookkeeping *)
+          Minesweeper.Instance.shadow_resident_bytes ms
+          + (quarantine_entry_overhead * Minesweeper.Instance.quarantine_entries ms));
+      cold_penalty = cold_penalty_fn machine factor;
+      is_protected_addr = (fun addr -> Minesweeper.Instance.is_quarantined ms addr);
+      tolerates_double_free = config.Minesweeper.Config.quarantining;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      extra =
+        (fun () ->
+          [
+            ("double_frees", float_of_int stats.Minesweeper.Stats.double_frees);
+            ("stw_pauses", float_of_int stats.Minesweeper.Stats.stw_pauses);
+            ("alloc_pauses", float_of_int stats.Minesweeper.Stats.alloc_pauses);
+            ("unmapped", float_of_int stats.Minesweeper.Stats.unmapped_allocations);
+          ]);
+    }
+  | Mark_us ->
+    let mk = Markus.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Markus.malloc mk;
+      free = (fun ~thread:_ addr -> Markus.free mk addr);
+      tick = (fun () -> Markus.tick mk);
+      drain = (fun () -> Markus.drain mk);
+      live_bytes = (fun () -> Alloc.Jemalloc.live_bytes (Markus.jemalloc mk));
+      metadata_bytes = (fun () -> 0);
+      cold_penalty = cold_penalty_fn machine 1.15;
+      is_protected_addr = (fun addr -> Markus.is_quarantined mk addr);
+      tolerates_double_free = true;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> Markus.sweeps mk);
+      failed_frees = (fun () -> Markus.failed_frees mk);
+      extra =
+        (fun () ->
+          [ ("visited_bytes", float_of_int (Markus.marked_visited_bytes mk)) ]);
+    }
+  | Scudo_baseline ->
+    let sc = Alloc.Scudo.create machine in
+    let last_decay = ref 0 in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Alloc.Scudo.malloc sc;
+      free = (fun ~thread:_ addr -> Alloc.Scudo.free sc addr);
+      tick =
+        (fun () ->
+          let n = Alloc.Machine.now machine in
+          if n - !last_decay >= decay_interval then begin
+            last_decay := n;
+            Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+                Alloc.Scudo.purge_tick sc)
+          end);
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Alloc.Scudo.live_bytes sc);
+      metadata_bytes = (fun () -> 0);
+      (* The randomisation pool delays some reuse: a small cold share. *)
+      cold_penalty = cold_penalty_fn machine 0.1;
+      is_protected_addr = (fun _ -> false);
+      tolerates_double_free = false;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () -> [ ("pool", float_of_int (Alloc.Scudo.pool_size sc)) ]);
+    }
+  | Scudo_sweeper config ->
+    let ms = Scudo_ms.create ~config ~threads machine in
+    let stats = Scudo_ms.stats ms in
+    let factor = if config.Minesweeper.Config.quarantining then 1.0 else 0.0 in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Scudo_ms.malloc ms;
+      free = (fun ~thread addr -> Scudo_ms.free ms ~thread addr);
+      tick = (fun () -> Scudo_ms.tick ms);
+      drain = (fun () -> Scudo_ms.drain ms);
+      live_bytes = (fun () -> Scudo_ms.live_bytes ms);
+      metadata_bytes =
+        (fun () ->
+          Scudo_ms.shadow_resident_bytes ms
+          + (quarantine_entry_overhead * Scudo_ms.quarantine_entries ms));
+      cold_penalty = cold_penalty_fn machine factor;
+      is_protected_addr = (fun addr -> Scudo_ms.is_quarantined ms addr);
+      tolerates_double_free = config.Minesweeper.Config.quarantining;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      extra = (fun () -> []);
+    }
+  | Dl_baseline ->
+    let dl = Alloc.Dlmalloc.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Alloc.Dlmalloc.malloc dl;
+      free = (fun ~thread:_ addr -> Alloc.Dlmalloc.free dl addr);
+      tick = (fun () -> ());
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Alloc.Dlmalloc.live_bytes dl);
+      metadata_bytes = (fun () -> 0) (* metadata lives in-band *);
+      cold_penalty = cold_penalty_fn machine 0.0;
+      is_protected_addr = (fun _ -> false);
+      tolerates_double_free = false;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [
+            ("bin_integrity",
+             if Alloc.Dlmalloc.check_bin_integrity dl then 1.0 else 0.0);
+          ]);
+    }
+  | Dl_sweeper config ->
+    let ms = Dl_ms.create ~config ~threads machine in
+    let stats = Dl_ms.stats ms in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Dl_ms.malloc ms;
+      free = (fun ~thread addr -> Dl_ms.free ms ~thread addr);
+      tick = (fun () -> Dl_ms.tick ms);
+      drain = (fun () -> Dl_ms.drain ms);
+      live_bytes = (fun () -> Dl_ms.live_bytes ms);
+      metadata_bytes =
+        (fun () ->
+          Dl_ms.shadow_resident_bytes ms
+          + (quarantine_entry_overhead * Dl_ms.quarantine_entries ms));
+      cold_penalty = cold_penalty_fn machine 1.0;
+      is_protected_addr = (fun addr -> Dl_ms.is_quarantined ms addr);
+      tolerates_double_free = config.Minesweeper.Config.quarantining;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      extra = (fun () -> []);
+    }
+  | Cr_count ->
+    let cr = Ptrtrack.Crcount.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Ptrtrack.Crcount.malloc cr;
+      free = (fun ~thread:_ addr -> Ptrtrack.Crcount.free cr addr);
+      tick = (fun () -> ());
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Ptrtrack.Crcount.live_bytes cr);
+      metadata_bytes = (fun () -> Ptrtrack.Crcount.metadata_bytes cr);
+      cold_penalty = cold_penalty_fn machine 0.2;
+      is_protected_addr = (fun addr -> Ptrtrack.Crcount.is_pending cr addr);
+      tolerates_double_free = true;
+      on_pointer_write =
+        (fun ~slot ~old_value ~value ->
+          Ptrtrack.Crcount.on_pointer_write cr ~slot ~old_value ~value);
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [ ("pending_bytes", float_of_int (Ptrtrack.Crcount.pending_bytes cr)) ]);
+    }
+  | P_sweeper ->
+    let ps = Ptrtrack.Psweeper.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Ptrtrack.Psweeper.malloc ps;
+      free = (fun ~thread:_ addr -> Ptrtrack.Psweeper.free ps addr);
+      tick = (fun () -> Ptrtrack.Psweeper.tick ps);
+      drain = (fun () -> Ptrtrack.Psweeper.drain ps);
+      live_bytes = (fun () -> Ptrtrack.Psweeper.live_bytes ps);
+      metadata_bytes = (fun () -> Ptrtrack.Psweeper.metadata_bytes ps);
+      cold_penalty = cold_penalty_fn machine 0.4;
+      is_protected_addr = (fun addr -> Ptrtrack.Psweeper.is_deferred ps addr);
+      tolerates_double_free = true;
+      on_pointer_write =
+        (fun ~slot ~old_value ~value ->
+          Ptrtrack.Psweeper.on_pointer_write ps ~slot ~old_value ~value);
+      sweeps = (fun () -> Ptrtrack.Psweeper.sweeps ps);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [
+            ("deferred_bytes",
+             float_of_int (Ptrtrack.Psweeper.deferred_bytes ps));
+          ]);
+    }
+  | Dang_san ->
+    let ds = Ptrtrack.Dangsan.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Ptrtrack.Dangsan.malloc ds;
+      free = (fun ~thread:_ addr -> Ptrtrack.Dangsan.free ds addr);
+      tick = (fun () -> ());
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Ptrtrack.Dangsan.live_bytes ds);
+      metadata_bytes = (fun () -> Ptrtrack.Dangsan.metadata_bytes ds);
+      cold_penalty = cold_penalty_fn machine 0.1;
+      is_protected_addr = (fun _ -> false);
+      tolerates_double_free = false;
+      on_pointer_write =
+        (fun ~slot ~old_value ~value ->
+          Ptrtrack.Dangsan.on_pointer_write ds ~slot ~old_value ~value);
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [ ("log_entries", float_of_int (Ptrtrack.Dangsan.log_entries ds)) ]);
+    }
+  | Ff_malloc ->
+    let ff = Ffmalloc.create machine in
+    {
+      scheme = scheme_name scheme;
+      machine;
+      malloc = Ffmalloc.malloc ff;
+      free = (fun ~thread:_ addr -> Ffmalloc.free ff addr);
+      tick = (fun () -> ());
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Ffmalloc.live_bytes ff);
+      metadata_bytes = (fun () -> 0);
+      cold_penalty = cold_penalty_fn machine 0.05;
+      is_protected_addr = (fun addr -> Ffmalloc.is_freed_address ff addr);
+      tolerates_double_free = false;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [ ("va_consumed", float_of_int (Ffmalloc.va_consumed ff)) ]);
+    }

@@ -1,0 +1,60 @@
+(** Allocator stacks: a uniform face over the schemes under evaluation.
+
+    A stack bundles the scheme's entry points with the accounting the
+    driver needs: how much extra metadata it keeps resident, how cold its
+    served memory is (delayed reuse causes the cache misses the paper
+    identifies as MineSweeper's main run-time cost), and scheme-specific
+    statistics for the result tables. *)
+
+type scheme =
+  | Baseline  (** unmodified JeMalloc (the paper's comparison baseline) *)
+  | Mine_sweeper of Minesweeper.Config.t
+  | Mark_us
+  | Ff_malloc
+  | Scudo_baseline  (** the Scudo hardened-allocator model, unprotected *)
+  | Scudo_sweeper of Minesweeper.Config.t
+      (** MineSweeper layered over Scudo (the Section 7 integration) *)
+  | Cr_count  (** reference-counting pointer invalidation (CRCount) *)
+  | P_sweeper  (** concurrent live-pointer-table sweeping (pSweeper-1s) *)
+  | Dang_san  (** log-based pointer nullification (DangSan) *)
+  | Dl_baseline
+      (** GNU-malloc-style allocator with in-band metadata (exploitable
+          free-list links, Section 2's footnote) *)
+  | Dl_sweeper of Minesweeper.Config.t
+      (** MineSweeper layered over the dlmalloc model *)
+
+val scheme_name : scheme -> string
+
+type t = {
+  scheme : string;
+  machine : Alloc.Machine.t;
+  malloc : int -> int;
+  free : thread:int -> int -> unit;
+  tick : unit -> unit;
+  drain : unit -> unit;
+  live_bytes : unit -> int;
+  metadata_bytes : unit -> int;
+      (** resident metadata beyond the simulated pages (shadow map,
+          quarantine entries); added to RSS in reports *)
+  cold_penalty : int -> int;
+      (** extra application cycles charged when serving an allocation of
+          this size, modelling the cache misses of delayed reuse *)
+  is_protected_addr : int -> bool;
+      (** the address is currently quarantined / permanently retired, so
+          a use-after-free cannot become a use-after-reallocate *)
+  tolerates_double_free : bool;
+      (** whether a second [free] of the same pointer is absorbed
+          (quarantine dedup) rather than undefined behaviour *)
+  on_pointer_write : slot:int -> old_value:int -> value:int -> unit;
+      (** called for every *instrumented* pointer store the program
+          performs (compiler-inserted instrumentation in DangSan /
+          CRCount / pSweeper; a no-op for uninstrumented schemes).
+          Integer writes that merely alias addresses are NOT reported —
+          that is precisely the coverage gap of non-conservative
+          pointer-tracking schemes. *)
+  sweeps : unit -> int;
+  failed_frees : unit -> int;
+  extra : unit -> (string * float) list;
+}
+
+val build : scheme -> threads:int -> Alloc.Machine.t -> t

@@ -1,0 +1,69 @@
+open Sim
+
+let tiny = Dist.uniform ~lo:16 ~hi:128
+let small = Dist.uniform ~lo:16 ~hi:512
+let sh_batch = Dist.uniform ~lo:64 ~hi:512
+
+(* Stress tests keep almost no pointer structure: low density, few
+   parent pointers. *)
+let p =
+  Profile.make ~suite:"mimalloc" ~pointer_density:0.3 ~back_pointer_rate:0.05
+
+(* Stress profiles share: minimal compute (work_per_op tens of cycles),
+   very high allocation rates, and mostly benign pointer behaviour
+   (these tests do not leave dangling pointers around). *)
+
+let all =
+  [
+    p ~name:"alloc-test1" ~ops:220_000 ~size:small
+      ~lifetime:(Dist.exponential ~mean:2000.) ~work_per_op:55
+      ~dangling_rate:0.0 ~false_pointer_rate:0.0005 ~seed:301 ();
+    p ~name:"alloc-testN" ~ops:300_000 ~size:small
+      ~lifetime:(Dist.exponential ~mean:2000.) ~work_per_op:45 ~threads:8
+      ~dangling_rate:0.0 ~false_pointer_rate:0.0005 ~seed:302 ();
+    p ~name:"barnes" ~ops:40_000 ~size:(Dist.uniform ~lo:64 ~hi:2048)
+      ~lifetime:(Dist.exponential ~mean:15000.) ~work_per_op:4_000
+      ~dangling_rate:0.0 ~seed:303 ();
+    p ~name:"cache-scratch1" ~ops:4_000 ~size:(Dist.constant 64)
+      ~lifetime:(Dist.exponential ~mean:500.) ~work_per_op:60_000
+      ~dangling_rate:0.0 ~seed:304 ();
+    p ~name:"cache-scratchN" ~ops:4_000 ~size:(Dist.constant 64)
+      ~lifetime:(Dist.exponential ~mean:500.) ~work_per_op:55_000 ~threads:8
+      ~dangling_rate:0.0 ~seed:305 ();
+    p ~name:"cfrac" ~ops:260_000 ~size:tiny
+      ~lifetime:(Dist.exponential ~mean:900.) ~work_per_op:90
+      ~dangling_rate:0.0 ~seed:306 ();
+    p ~name:"espresso" ~ops:180_000 ~size:small
+      ~lifetime:(Dist.exponential ~mean:1500.) ~work_per_op:220
+      ~dangling_rate:0.0 ~seed:307 ();
+    p ~name:"glibc-simple" ~ops:300_000 ~size:tiny
+      ~lifetime:(Dist.exponential ~mean:400.) ~work_per_op:35
+      ~dangling_rate:0.0 ~seed:308 ();
+    p ~name:"glibc-thread" ~ops:300_000 ~size:tiny
+      ~lifetime:(Dist.exponential ~mean:250.) ~work_per_op:30 ~threads:16
+      ~dangling_rate:0.0 ~seed:309 ();
+    p ~name:"larsonN" ~ops:280_000 ~size:(Dist.uniform ~lo:16 ~hi:1024)
+      ~lifetime:(Dist.exponential ~mean:8000.) ~work_per_op:60 ~threads:8
+      ~dangling_rate:0.0 ~seed:310 ();
+    p ~name:"larsonN-sized" ~ops:280_000 ~size:(Dist.uniform ~lo:16 ~hi:1024)
+      ~lifetime:(Dist.exponential ~mean:8000.) ~work_per_op:55 ~threads:8
+      ~dangling_rate:0.0 ~seed:311 ();
+    p ~name:"mstressN" ~ops:240_000 ~size:small
+      ~lifetime:(Dist.exponential ~mean:4000.) ~work_per_op:60 ~threads:8
+      ~phase_ops:(Some 30_000) ~phase_kill:0.95 ~dangling_rate:0.0 ~seed:312 ();
+    p ~name:"rptestN" ~ops:220_000 ~size:(Dist.uniform ~lo:16 ~hi:8192)
+      ~lifetime:(Dist.exponential ~mean:3000.) ~work_per_op:75 ~threads:8
+      ~dangling_rate:0.0 ~seed:313 ();
+    p ~name:"sh6benchN" ~ops:260_000 ~size:sh_batch
+      ~lifetime:(Dist.uniform ~lo:1 ~hi:3000) ~work_per_op:40 ~threads:8
+      ~dangling_rate:0.0 ~seed:314 ();
+    p ~name:"sh8benchN" ~ops:300_000 ~size:sh_batch
+      ~lifetime:(Dist.uniform ~lo:1 ~hi:2000) ~work_per_op:35 ~threads:8
+      ~dangling_rate:0.0 ~seed:315 ();
+    p ~name:"xmalloc-testN" ~ops:320_000 ~size:tiny
+      ~lifetime:(Dist.exponential ~mean:600.) ~work_per_op:25 ~threads:8
+      ~dangling_rate:0.0 ~seed:316 ();
+  ]
+
+let names = List.map (fun q -> q.Profile.name) all
+let find name = List.find (fun q -> q.Profile.name = name) all

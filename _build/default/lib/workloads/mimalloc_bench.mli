@@ -1,0 +1,10 @@
+(** Profiles for the mimalloc-bench stress tests of Section 5.7.
+
+    These are allocator torture tests: nearly all "work" is allocation
+    and deallocation, violating MineSweeper's assumption that sweeps can
+    keep up in the background. They exercise the allocation-pausing
+    safety valve and the worst-case behaviours of all three schemes. *)
+
+val all : Profile.t list
+val find : string -> Profile.t
+val names : string list

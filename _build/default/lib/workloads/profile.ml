@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  suite : string;
+  ops : int;
+  size : Sim.Dist.t;
+  lifetime : Sim.Dist.t;
+  lifetime_large : Sim.Dist.t option;
+  work_per_op : int;
+  pointer_density : float;
+  root_fraction : float;
+  dangling_rate : float;
+  false_pointer_rate : float;
+  back_pointer_rate : float;
+  phase_ops : int option;
+  phase_kill : float;
+  threads : int;
+  leak_rate : float;
+  cache_sensitivity : float;
+  seed : int;
+}
+
+let make ~name ~suite ~ops ~size ~lifetime ?lifetime_large ~work_per_op
+    ?(pointer_density = 0.9) ?(root_fraction = 0.12) ?(dangling_rate = 0.004)
+    ?(false_pointer_rate = 0.002) ?(back_pointer_rate = 0.15)
+    ?(phase_ops = None) ?(phase_kill = 0.7)
+    ?(threads = 1) ?(leak_rate = 0.0005) ?(cache_sensitivity = 0.2)
+    ?(seed = 42) () =
+  {
+    name;
+    suite;
+    ops;
+    size;
+    lifetime;
+    lifetime_large;
+    work_per_op;
+    pointer_density;
+    root_fraction;
+    dangling_rate;
+    false_pointer_rate;
+    back_pointer_rate;
+    phase_ops;
+    phase_kill;
+    threads;
+    leak_rate;
+    cache_sensitivity;
+    seed;
+  }
+
+let scale_ops f t =
+  let ops = max 1000 (int_of_float (f *. float_of_int t.ops)) in
+  let phase_ops =
+    Option.map
+      (fun p -> max 500 (int_of_float (f *. float_of_int p)))
+      t.phase_ops
+  in
+  { t with ops; phase_ops }

@@ -1,0 +1,72 @@
+(** A workload profile: the synthetic stand-in for one benchmark binary.
+
+    The paper's overheads are functions of a few observable properties of
+    each benchmark — allocation rate relative to compute, object-size and
+    lifetime distributions, live-heap size, phase behaviour, and how the
+    program treats pointers to freed objects. A profile captures those
+    properties; {!Driver} turns it into a concrete operation trace
+    against a real allocator stack, with object addresses genuinely
+    written into (and cleared from) simulated memory so that sweeps and
+    marking see a realistic reference graph. *)
+
+type t = {
+  name : string;
+  suite : string;
+  ops : int;  (** allocation events in the trace *)
+  size : Sim.Dist.t;  (** request sizes, bytes *)
+  lifetime : Sim.Dist.t;  (** object lifetimes, in allocation events *)
+  lifetime_large : Sim.Dist.t option;
+      (** separate lifetimes for large (>= 16 KiB) objects; real
+          programs' big buffers live much longer than their nodes *)
+  work_per_op : int;  (** application compute cycles between allocations *)
+  pointer_density : float;
+      (** probability a new object's address is stored (and tracked) in
+          another live object or a root slot *)
+  root_fraction : float;
+      (** of tracked pointers, the fraction stored in stack/globals *)
+  dangling_rate : float;
+      (** probability a tracked pointer is left behind (dangling) when
+          its target is freed *)
+  false_pointer_rate : float;
+      (** probability per allocation of writing an untracked word that
+          aliases a live heap address ("unlucky data") *)
+  back_pointer_rate : float;
+      (** probability a new object also stores a pointer back to its
+          holder (parent/prev pointers), creating the cyclic structures
+          that make zeroing essential (Section 4.1, Figure 6) *)
+  phase_ops : int option;
+      (** if set, every [phase_ops] events the program drops most of its
+          live structures and rebuilds (gcc-style phases) *)
+  phase_kill : float;  (** fraction of live objects dropped at a phase edge *)
+  threads : int;  (** application threads (thread-local buffer pressure) *)
+  leak_rate : float;  (** fraction of objects never freed *)
+  cache_sensitivity : float;
+      (** how strongly the benchmark's performance depends on allocator
+          locality; scales the delayed-reuse cache penalty *)
+  seed : int;
+}
+
+val make :
+  name:string ->
+  suite:string ->
+  ops:int ->
+  size:Sim.Dist.t ->
+  lifetime:Sim.Dist.t ->
+  ?lifetime_large:Sim.Dist.t ->
+  work_per_op:int ->
+  ?pointer_density:float ->
+  ?root_fraction:float ->
+  ?dangling_rate:float ->
+  ?false_pointer_rate:float ->
+  ?back_pointer_rate:float ->
+  ?phase_ops:int option ->
+  ?phase_kill:float ->
+  ?threads:int ->
+  ?leak_rate:float ->
+  ?cache_sensitivity:float ->
+  ?seed:int ->
+  unit ->
+  t
+
+val scale_ops : float -> t -> t
+(** Shrink or grow the trace length, e.g. for quick test runs. *)

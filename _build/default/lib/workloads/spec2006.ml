@@ -1,0 +1,142 @@
+open Sim
+
+(* Size distributions reflecting the published allocation profiles:
+   tiny node-churn benchmarks (xalancbmk, omnetpp) vs. buffer-oriented
+   ones (mcf, milc, bzip2). Lifetimes are chosen so that each profile's
+   steady live heap (~ mean lifetime x mean size) matches the
+   benchmark's scaled-down footprint. *)
+
+let tiny_nodes =
+  Dist.choice
+    [
+      (0.55, Dist.uniform ~lo:16 ~hi:96);
+      (0.35, Dist.uniform ~lo:96 ~hi:256);
+      (0.10, Dist.pareto ~shape:1.4 ~scale:256 ~cap:4096);
+    ]
+
+let small_mix =
+  Dist.choice
+    [
+      (0.50, Dist.uniform ~lo:16 ~hi:128);
+      (0.35, Dist.uniform ~lo:128 ~hi:512);
+      (0.15, Dist.pareto ~shape:1.3 ~scale:512 ~cap:16384);
+    ]
+
+let medium_mix =
+  Dist.choice
+    [
+      (0.55, Dist.uniform ~lo:64 ~hi:1024);
+      (0.35, Dist.uniform ~lo:1024 ~hi:8192);
+      (0.10, Dist.pareto ~shape:1.2 ~scale:8192 ~cap:262144);
+    ]
+
+let large_buffers ~lo ~hi = Dist.uniform ~lo ~hi
+
+(* Lifetime with a long-lived minority: the long tail is what pins
+   FFmalloc's pages and sets each benchmark's steady live heap. *)
+let churn_life ~short ~long_weight ~long =
+  Dist.choice
+    [
+      (1.0 -. long_weight, Dist.exponential ~mean:short);
+      (long_weight, Dist.exponential ~mean:long);
+    ]
+
+let p = Profile.make ~suite:"spec2006"
+
+let all =
+  [
+    p ~name:"astar" ~ops:60_000 ~size:small_mix
+      ~lifetime:(churn_life ~short:2500. ~long_weight:0.03 ~long:20000.)
+      ~work_per_op:6000 ~cache_sensitivity:0.1 ~seed:101 ();
+    p ~name:"bzip2" ~ops:3_000
+      ~size:
+        (Dist.choice
+           [ (0.995, small_mix); (0.005, large_buffers ~lo:262144 ~hi:1048576) ])
+      ~lifetime:(Dist.exponential ~mean:400.)
+      ~lifetime_large:(Dist.constant 3_000) (* working buffers live to exit *)
+      ~work_per_op:400_000 ~cache_sensitivity:0.1 ~seed:102 ();
+    p ~name:"dealII" ~ops:200_000 ~size:small_mix
+      ~lifetime:(churn_life ~short:3000. ~long_weight:0.03 ~long:25000.)
+      ~work_per_op:1300 ~cache_sensitivity:0.05 ~seed:103 ();
+    p ~name:"gcc" ~ops:60_000
+      ~size:(Dist.choice
+               [ (0.55, Dist.uniform ~lo:64 ~hi:1024);
+                 (0.35, Dist.uniform ~lo:1024 ~hi:8192);
+                 (0.10, Dist.pareto ~shape:1.4 ~scale:2048 ~cap:15000) ])
+      ~lifetime:(churn_life ~short:3500. ~long_weight:0.05 ~long:15000.)
+      ~work_per_op:3000 ~phase_ops:(Some 12_000) ~phase_kill:0.9
+      ~dangling_rate:0.030 ~back_pointer_rate:0.3 ~cache_sensitivity:0.04 ~seed:104 ();
+    p ~name:"gobmk" ~ops:30_000 ~size:small_mix
+      ~lifetime:(Dist.exponential ~mean:1500.) ~work_per_op:12_000
+      ~cache_sensitivity:0.1 ~seed:105 ();
+    p ~name:"h264ref" ~ops:25_000 ~size:medium_mix
+      ~lifetime:(Dist.exponential ~mean:500.) ~work_per_op:18_000
+      ~cache_sensitivity:0.08 ~seed:106 ();
+    p ~name:"hmmer" ~ops:15_000 ~size:small_mix
+      ~lifetime:(Dist.exponential ~mean:800.) ~work_per_op:25_000
+      ~cache_sensitivity:0.1 ~seed:107 ();
+    p ~name:"lbm" ~ops:1_500
+      ~size:
+        (Dist.choice
+           [ (0.996, small_mix); (0.004, large_buffers ~lo:1048576 ~hi:2097152) ])
+      ~lifetime:(Dist.exponential ~mean:200.)
+      ~lifetime_large:(Dist.constant 1_500) (* the two lattice grids *)
+      ~work_per_op:700_000 ~cache_sensitivity:0.05 ~seed:108 ();
+    p ~name:"libquantum" ~ops:1_500
+      ~size:
+        (Dist.choice
+           [ (0.992, small_mix); (0.008, large_buffers ~lo:131072 ~hi:524288) ])
+      ~lifetime:(Dist.exponential ~mean:250.)
+      ~lifetime_large:(Dist.constant 1_500) (* the quantum register *)
+      ~work_per_op:500_000 ~cache_sensitivity:0.05 ~seed:109 ();
+    p ~name:"mcf" ~ops:2_000
+      ~size:
+        (Dist.choice
+           [ (0.98, small_mix); (0.02, large_buffers ~lo:131072 ~hi:393216) ])
+      ~lifetime:(Dist.exponential ~mean:300.)
+      ~lifetime_large:(Dist.constant 2_000) (* network arrays live to exit *)
+      ~work_per_op:300_000 ~cache_sensitivity:0.3 ~seed:110 ();
+    p ~name:"milc" ~ops:10_000
+      ~size:
+        (Dist.choice
+           [ (0.90, small_mix); (0.10, large_buffers ~lo:16384 ~hi:131072) ])
+      ~lifetime:(Dist.exponential ~mean:400.)
+      ~lifetime_large:(Dist.exponential ~mean:500.) (* per-phase field buffers *)
+      ~work_per_op:30_000 ~cache_sensitivity:0.1 ~seed:111 ();
+    p ~name:"namd" ~ops:2_000 ~size:medium_mix
+      ~lifetime:(Dist.exponential ~mean:900.) ~work_per_op:500_000
+      ~cache_sensitivity:0.1 ~seed:112 ();
+    p ~name:"omnetpp" ~ops:400_000 ~size:tiny_nodes
+      ~lifetime:(churn_life ~short:15000. ~long_weight:0.03 ~long:100000.)
+      ~work_per_op:500 ~dangling_rate:0.006 ~cache_sensitivity:0.05
+      ~back_pointer_rate:0.35 ~leak_rate:0.02 ~seed:113 ();
+    p ~name:"perlbench" ~ops:260_000 ~size:small_mix
+      ~lifetime:(churn_life ~short:4000. ~long_weight:0.05 ~long:40000.)
+      ~work_per_op:600 ~dangling_rate:0.006 ~cache_sensitivity:0.05
+      ~leak_rate:0.015 ~seed:114 ();
+    p ~name:"povray" ~ops:120_000 ~size:tiny_nodes
+      ~lifetime:(Dist.exponential ~mean:350.) ~work_per_op:2_500
+      ~cache_sensitivity:0.2 ~seed:115 ();
+    p ~name:"sjeng" ~ops:2_000 ~size:small_mix
+      ~lifetime:(Dist.exponential ~mean:400.) ~work_per_op:400_000
+      ~cache_sensitivity:0.1 ~seed:116 ();
+    p ~name:"soplex" ~ops:8_000
+      ~size:
+        (Dist.choice
+           [ (0.85, small_mix);
+             (0.15, Dist.pareto ~shape:1.2 ~scale:16384 ~cap:262144) ])
+      ~lifetime:(Dist.exponential ~mean:800.)
+      ~lifetime_large:(Dist.exponential ~mean:800.) (* LP matrices *)
+      ~work_per_op:60_000 ~cache_sensitivity:0.1 ~seed:117 ();
+    p ~name:"sphinx3" ~ops:300_000 ~size:tiny_nodes
+      ~lifetime:(churn_life ~short:1000. ~long_weight:0.02 ~long:100000.)
+      ~work_per_op:700 ~cache_sensitivity:0.10 ~leak_rate:0.03 ~seed:118 ();
+    p ~name:"xalancbmk" ~ops:400_000 ~size:tiny_nodes
+      ~lifetime:(churn_life ~short:5000. ~long_weight:0.04 ~long:60000.)
+      ~work_per_op:170 ~phase_ops:(Some 70_000) ~phase_kill:0.9
+      ~dangling_rate:0.008 ~back_pointer_rate:0.3 ~cache_sensitivity:0.55 ~leak_rate:0.025 ~seed:119 ();
+  ]
+
+let names = List.map (fun q -> q.Profile.name) all
+
+let find name = List.find (fun q -> q.Profile.name = name) all

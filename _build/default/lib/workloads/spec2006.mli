@@ -1,0 +1,17 @@
+(** Synthetic profiles for the 19 C/C++ benchmarks of SPEC CPU2006 used
+    by the paper (Section 5.2).
+
+    Parameters encode each benchmark's published allocation character:
+    how allocation-intensive it is relative to compute, its object size
+    and lifetime distributions, phase behaviour and live-heap scale.
+    Traces are scaled to simulator size (hundreds of thousands of events
+    rather than hundreds of millions), which preserves relative overheads
+    but not absolute sweep counts. *)
+
+val all : Profile.t list
+(** In the paper's figure order (alphabetical). *)
+
+val find : string -> Profile.t
+(** @raise Not_found if the benchmark name is unknown. *)
+
+val names : string list

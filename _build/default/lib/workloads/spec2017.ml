@@ -1,0 +1,137 @@
+open Sim
+
+let tiny_nodes =
+  Dist.choice
+    [
+      (0.55, Dist.uniform ~lo:16 ~hi:96);
+      (0.35, Dist.uniform ~lo:96 ~hi:256);
+      (0.10, Dist.pareto ~shape:1.4 ~scale:256 ~cap:4096);
+    ]
+
+let small_mix =
+  Dist.choice
+    [
+      (0.50, Dist.uniform ~lo:16 ~hi:128);
+      (0.35, Dist.uniform ~lo:128 ~hi:512);
+      (0.15, Dist.pareto ~shape:1.3 ~scale:512 ~cap:16384);
+    ]
+
+let medium_mix =
+  Dist.choice
+    [
+      (0.55, Dist.uniform ~lo:64 ~hi:1024);
+      (0.35, Dist.uniform ~lo:1024 ~hi:8192);
+      (0.10, Dist.pareto ~shape:1.2 ~scale:8192 ~cap:262144);
+    ]
+
+let array_buffers ~lo ~hi = Dist.uniform ~lo ~hi
+
+let churn_life ~short ~long_weight ~long =
+  Dist.choice
+    [
+      (1.0 -. long_weight, Dist.exponential ~mean:short);
+      (long_weight, Dist.exponential ~mean:long);
+    ]
+
+let p = Profile.make ~suite:"spec2017"
+
+let all =
+  [
+    p ~name:"perlbench" ~ops:280_000 ~size:small_mix
+      ~lifetime:(churn_life ~short:4000. ~long_weight:0.05 ~long:40000.)
+      ~work_per_op:520 ~dangling_rate:0.006 ~leak_rate:0.015
+      ~cache_sensitivity:0.12 ~seed:201 ();
+    p ~name:"gcc" ~ops:170_000 ~size:medium_mix
+      ~lifetime:(churn_life ~short:1200. ~long_weight:0.05 ~long:6000.)
+      ~work_per_op:2000 ~phase_ops:(Some 28_000) ~phase_kill:0.85
+      ~dangling_rate:0.010 ~cache_sensitivity:0.04 ~seed:202 ();
+    p ~name:"mcf" ~ops:15_000
+      ~size:
+        (Dist.choice
+           [ (0.97, small_mix); (0.03, array_buffers ~lo:65536 ~hi:262144) ])
+      ~lifetime:(Dist.exponential ~mean:1500.)
+      ~lifetime_large:(Dist.constant 15_000)
+      ~work_per_op:40_000 ~cache_sensitivity:0.1 ~seed:203 ();
+    p ~name:"xalancbmk" ~ops:430_000 ~size:tiny_nodes
+      ~lifetime:(churn_life ~short:6000. ~long_weight:0.04 ~long:80000.)
+      ~work_per_op:130 ~phase_ops:(Some 70_000) ~phase_kill:0.9
+      ~dangling_rate:0.008 ~cache_sensitivity:0.75 ~seed:204 ();
+    p ~name:"x264" ~ops:20_000
+      ~size:
+        (Dist.choice
+           [ (0.9, medium_mix); (0.1, array_buffers ~lo:65536 ~hi:262144) ])
+      ~lifetime:(Dist.exponential ~mean:900.)
+      ~lifetime_large:(Dist.exponential ~mean:300.) (* reference frames *)
+      ~work_per_op:30_000 ~cache_sensitivity:0.08 ~seed:205 ();
+    p ~name:"deepsjeng" ~ops:2_500 ~size:medium_mix
+      ~lifetime:(Dist.exponential ~mean:900.) ~work_per_op:400_000 ~cache_sensitivity:0.1 ~seed:206 ();
+    p ~name:"leela" ~ops:45_000 ~size:small_mix
+      ~lifetime:(Dist.exponential ~mean:2500.) ~work_per_op:9_000 ~cache_sensitivity:0.1 ~seed:207 ();
+    p ~name:"exchange2" ~ops:800 ~size:small_mix
+      ~lifetime:(Dist.exponential ~mean:300.) ~work_per_op:1_000_000 ~seed:208 ();
+    p ~name:"xz" ~ops:3_000
+      ~size:
+        (Dist.choice
+           [ (0.99, small_mix); (0.01, array_buffers ~lo:262144 ~hi:1048576) ])
+      ~lifetime:(Dist.exponential ~mean:400.)
+      ~lifetime_large:(Dist.constant 3_000) (* dictionary + window *)
+      ~work_per_op:300_000 ~threads:4 ~seed:209 ();
+    p ~name:"bwaves" ~ops:1_000
+      ~size:
+        (Dist.choice
+           [ (0.994, small_mix); (0.006, array_buffers ~lo:1048576 ~hi:2097152) ])
+      ~lifetime:(Dist.exponential ~mean:200.)
+      ~lifetime_large:(Dist.constant 1_000)
+      ~work_per_op:900_000 ~threads:8 ~seed:210 ();
+    p ~name:"cactuBSSN" ~ops:20_000
+      ~size:
+        (Dist.choice
+           [ (0.92, medium_mix); (0.08, array_buffers ~lo:16384 ~hi:131072) ])
+      ~lifetime:(Dist.exponential ~mean:900.)
+      ~lifetime_large:(Dist.exponential ~mean:800.) (* grid hierarchies *)
+      ~work_per_op:22_000 ~threads:8 ~seed:211 ();
+    p ~name:"lbm" ~ops:1_000
+      ~size:
+        (Dist.choice
+           [ (0.995, small_mix); (0.005, array_buffers ~lo:1048576 ~hi:2097152) ])
+      ~lifetime:(Dist.exponential ~mean:200.)
+      ~lifetime_large:(Dist.constant 1_000)
+      ~work_per_op:900_000 ~threads:8 ~seed:212 ();
+    p ~name:"wrf" ~ops:120_000
+      ~size:(Dist.choice
+               [ (0.85, Dist.uniform ~lo:1024 ~hi:16384);
+                 (0.15, Dist.uniform ~lo:16384 ~hi:131072) ])
+      ~lifetime:(churn_life ~short:350. ~long_weight:0.05 ~long:2000.)
+      ~work_per_op:2_500 ~threads:8 ~cache_sensitivity:0.04 ~seed:213 ();
+    p ~name:"pop2" ~ops:40_000 ~size:medium_mix
+      ~lifetime:(Dist.exponential ~mean:1000.) ~work_per_op:8_000 ~threads:8
+      ~cache_sensitivity:0.1 ~seed:214 ();
+    p ~name:"imagick" ~ops:25_000
+      ~size:
+        (Dist.choice
+           [ (0.9, medium_mix); (0.1, array_buffers ~lo:65536 ~hi:524288) ])
+      ~lifetime:(Dist.exponential ~mean:700.)
+      ~lifetime_large:(Dist.exponential ~mean:150.) (* pixel caches *)
+      ~work_per_op:25_000 ~threads:8 ~cache_sensitivity:0.08 ~seed:215 ();
+    p ~name:"nab" ~ops:60_000 ~size:medium_mix
+      ~lifetime:(churn_life ~short:1500. ~long_weight:0.04 ~long:10000.)
+      ~work_per_op:4_500 ~threads:8 ~cache_sensitivity:0.08 ~seed:216 ();
+    p ~name:"fotonik3d" ~ops:1_500
+      ~size:
+        (Dist.choice
+           [ (0.99, small_mix); (0.01, array_buffers ~lo:524288 ~hi:1048576) ])
+      ~lifetime:(Dist.exponential ~mean:300.)
+      ~lifetime_large:(Dist.constant 1_500)
+      ~work_per_op:600_000 ~threads:8 ~seed:217 ();
+    p ~name:"roms" ~ops:6_000
+      ~size:
+        (Dist.choice
+           [ (0.97, small_mix); (0.03, array_buffers ~lo:131072 ~hi:524288) ])
+      ~lifetime:(Dist.exponential ~mean:1000.)
+      ~lifetime_large:(Dist.constant 6_000)
+      ~work_per_op:120_000 ~threads:8 ~seed:218 ();
+  ]
+
+let names = List.map (fun q -> q.Profile.name) all
+let find name = List.find (fun q -> q.Profile.name = name) all
+let threaded name = (find name).Profile.threads > 1

@@ -1,0 +1,14 @@
+(** Synthetic profiles for the SPECspeed2017 benchmarks of Section 5.6.
+
+    Benchmarks marked with [threads > 1] correspond to the paper's
+    starred (OpenMP) entries, run at the best of 4/8 threads. Threaded
+    runs expose an extra effect: sweeper threads compete with the
+    application for cores, which the driver charges as a contention
+    stall proportional to background work. *)
+
+val all : Profile.t list
+val find : string -> Profile.t
+val names : string list
+
+val threaded : string -> bool
+(** Whether the paper runs this benchmark under OpenMP (starred). *)

@@ -1,0 +1,255 @@
+type location =
+  | Root of int
+  | Field of int * int
+
+type op =
+  | Alloc of { id : int; size : int }
+  | Store_ptr of { loc : location; target : int }
+  | Clear_ptr of { loc : location; target : int }
+  | Store_data of { loc : location; value : int }
+  | Free of { id : int }
+  | Work of int
+
+type t = {
+  name : string;
+  ops : op array;
+}
+
+let length t = Array.length t.ops
+
+let allocation_count t =
+  Array.fold_left
+    (fun acc op -> match op with Alloc _ -> acc + 1 | _ -> acc)
+    0 t.ops
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let root_window_words = 8192
+
+let generate ?(seed = 1) profile =
+  let rng = Sim.Rng.create (seed lxor profile.Profile.seed) in
+  let size_rng = Sim.Rng.split rng in
+  let life_rng = Sim.Rng.split rng in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let live = ref [] in (* (id, size, refs) most-recent first *)
+  let live_count = ref 0 in
+  let deaths = Hashtbl.create 1024 in
+  let refs = Hashtbl.create 1024 in (* id -> (location * target) list *)
+  let pick_live () =
+    if !live_count = 0 then None
+    else begin
+      let n = Sim.Rng.int rng !live_count in
+      List.nth_opt !live n
+    end
+  in
+  let total = profile.Profile.ops in
+  for i = 0 to total - 1 do
+    (match Hashtbl.find_opt deaths i with
+    | Some ids ->
+      Hashtbl.remove deaths i;
+      List.iter
+        (fun id ->
+          (* Clear (most of) the pointers to the dying object first. *)
+          List.iter
+            (fun loc ->
+              if not (Sim.Rng.bool rng profile.Profile.dangling_rate) then
+                emit (Clear_ptr { loc; target = id }))
+            (Option.value ~default:[] (Hashtbl.find_opt refs id));
+          Hashtbl.remove refs id;
+          emit (Free { id });
+          live := List.filter (fun (x, _) -> x <> id) !live;
+          decr live_count)
+        ids
+    | None -> ());
+    let size = Sim.Dist.sample profile.Profile.size size_rng in
+    emit (Alloc { id = i; size });
+    live := (i, size) :: !live;
+    incr live_count;
+    if Sim.Rng.bool rng profile.Profile.pointer_density then begin
+      let loc =
+        if Sim.Rng.bool rng profile.Profile.root_fraction then
+          Root (Sim.Rng.int rng root_window_words)
+        else
+          match pick_live () with
+          | Some (h, hsize) when h <> i && hsize >= 8 ->
+            Field (h, Sim.Rng.int rng (hsize / 8))
+          | Some _ | None -> Root (Sim.Rng.int rng root_window_words)
+      in
+      emit (Store_ptr { loc; target = i });
+      Hashtbl.replace refs i
+        (loc :: Option.value ~default:[] (Hashtbl.find_opt refs i))
+    end;
+    if Sim.Rng.bool rng profile.Profile.false_pointer_rate then
+      (* An unlucky integer: recorded as data so instrumented schemes do
+         not see it. Value resolved at replay time from a live id. *)
+      (match pick_live () with
+      | Some (target, _) ->
+        emit (Store_data { loc = Root (Sim.Rng.int rng root_window_words);
+                           value = - target - 1 })
+        (* negative values encode "address of object ~target" *)
+      | None -> ());
+    if not (Sim.Rng.bool rng profile.Profile.leak_rate) then begin
+      let lifetime = Sim.Dist.sample profile.Profile.lifetime life_rng in
+      let at = i + 1 + lifetime in
+      if at < total then
+        Hashtbl.replace deaths at
+          (i :: Option.value ~default:[] (Hashtbl.find_opt deaths at))
+    end;
+    emit (Work profile.Profile.work_per_op)
+  done;
+  { name = profile.Profile.name; ops = Array.of_list (List.rev !ops) }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let replay t (stack : Harness.t) =
+  let mem = stack.Harness.machine.Alloc.Machine.mem in
+  let addr_of = Hashtbl.create 4096 in (* id -> (addr, size) *)
+  let executed = ref 0 in
+  let resolve_loc = function
+    | Root w -> Some (Layout.stack_base + (8 * (w mod root_window_words)))
+    | Field (id, w) ->
+      (match Hashtbl.find_opt addr_of id with
+      | Some (addr, size) when size >= 8 -> Some (addr + (8 * (w mod (size / 8))))
+      | Some _ | None -> None)
+  in
+  let writable slot =
+    Vmem.is_mapped mem slot
+    && Vmem.is_committed mem slot
+    && Vmem.protection mem slot = Vmem.Read_write
+  in
+  Array.iter
+    (fun op ->
+      incr executed;
+      match op with
+      | Alloc { id; size } ->
+        let addr = stack.Harness.malloc size in
+        Hashtbl.replace addr_of id (addr, size);
+        stack.Harness.tick ()
+      | Free { id } ->
+        (match Hashtbl.find_opt addr_of id with
+        | Some (addr, _) ->
+          Hashtbl.remove addr_of id;
+          stack.Harness.free ~thread:0 addr
+        | None -> ())
+      | Store_ptr { loc; target } ->
+        (match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
+        | Some slot, Some (taddr, _) when writable slot ->
+          let old_value = Vmem.load mem slot in
+          Vmem.store mem slot taddr;
+          stack.Harness.on_pointer_write ~slot ~old_value ~value:taddr
+        | _ -> ())
+      | Clear_ptr { loc; target } ->
+        (match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
+        | Some slot, Some (taddr, _) when writable slot ->
+          if Vmem.load mem slot = taddr then begin
+            Vmem.store mem slot 0;
+            stack.Harness.on_pointer_write ~slot ~old_value:taddr ~value:0
+          end
+        | _ -> ())
+      | Store_data { loc; value } ->
+        (match resolve_loc loc with
+        | Some slot when writable slot ->
+          let concrete =
+            if value >= 0 then value
+            else
+              (* encoded "address of object ~(-value-1)" *)
+              match Hashtbl.find_opt addr_of (-value - 1) with
+              | Some (addr, _) -> addr
+              | None -> 0
+          in
+          Vmem.store mem slot concrete
+        | _ -> ())
+      | Work cycles -> Alloc.Machine.charge stack.Harness.machine cycles)
+    t.ops;
+  stack.Harness.drain ();
+  !executed
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+
+let loc_to_string = function
+  | Root w -> Printf.sprintf "r %d" w
+  | Field (id, w) -> Printf.sprintf "f %d %d" id w
+
+let to_string t =
+  let buffer = Buffer.create (Array.length t.ops * 12) in
+  Buffer.add_string buffer (Printf.sprintf "# msweep-trace v1 %s\n" t.name);
+  Array.iter
+    (fun op ->
+      Buffer.add_string buffer
+        (match op with
+        | Alloc { id; size } -> Printf.sprintf "a %d %d\n" id size
+        | Free { id } -> Printf.sprintf "x %d\n" id
+        | Store_ptr { loc; target } ->
+          Printf.sprintf "p %s %d\n" (loc_to_string loc) target
+        | Clear_ptr { loc; target } ->
+          Printf.sprintf "c %s %d\n" (loc_to_string loc) target
+        | Store_data { loc; value } ->
+          Printf.sprintf "d %s %d\n" (loc_to_string loc) value
+        | Work cycles -> Printf.sprintf "w %d\n" cycles))
+    t.ops;
+  Buffer.contents buffer
+
+let parse_error line_no what =
+  failwith (Printf.sprintf "Trace.of_string: line %d: %s" line_no what)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let name = ref "trace" in
+  let ops = ref [] in
+  List.iteri
+    (fun idx line ->
+      let line_no = idx + 1 in
+      let words =
+        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+      in
+      let int_at msg w =
+        match int_of_string_opt w with
+        | Some v -> v
+        | None -> parse_error line_no msg
+      in
+      match words with
+      | [] -> ()
+      | "#" :: "msweep-trace" :: "v1" :: rest ->
+        if rest <> [] then name := String.concat " " rest
+      | "#" :: _ -> ()
+      | [ "a"; id; size ] ->
+        ops := Alloc { id = int_at "id" id; size = int_at "size" size } :: !ops
+      | [ "x"; id ] -> ops := Free { id = int_at "id" id } :: !ops
+      | [ "w"; cycles ] -> ops := Work (int_at "cycles" cycles) :: !ops
+      | [ kind; "r"; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
+        let loc = Root (int_at "word" w) in
+        let v = int_at "value" v in
+        ops :=
+          (match kind with
+          | "p" -> Store_ptr { loc; target = v }
+          | "c" -> Clear_ptr { loc; target = v }
+          | _ -> Store_data { loc; value = v })
+          :: !ops
+      | [ kind; "f"; id; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
+        let loc = Field (int_at "id" id, int_at "word" w) in
+        let v = int_at "value" v in
+        ops :=
+          (match kind with
+          | "p" -> Store_ptr { loc; target = v }
+          | "c" -> Clear_ptr { loc; target = v }
+          | _ -> Store_data { loc; value = v })
+          :: !ops
+      | _ -> parse_error line_no ("unrecognised op: " ^ line))
+    lines;
+  { name = !name; ops = Array.of_list (List.rev !ops) }
+
+let to_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

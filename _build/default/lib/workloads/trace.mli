@@ -1,0 +1,53 @@
+(** Portable allocation traces: generate, serialise, replay.
+
+    A trace is a self-contained program of allocator events — object
+    ids, not addresses — so the same workload can be replayed bit-for-
+    bit against any allocator stack, saved to a text file, inspected or
+    edited by hand, and shared (the role SPEC run scripts play in the
+    paper's artifact). {!generate} derives a trace from a {!Profile.t};
+    {!replay} executes one against a {!Harness.t}. *)
+
+type location =
+  | Root of int  (** word index into the root (stack/globals) window *)
+  | Field of int * int  (** object id, word index within the object *)
+
+type op =
+  | Alloc of { id : int; size : int }
+  | Store_ptr of { loc : location; target : int }
+      (** instrumented pointer store: [&target] written at [loc] *)
+  | Clear_ptr of { loc : location; target : int }
+      (** well-behaved clear: write 0 at [loc] if it still points at
+          [target] *)
+  | Store_data of { loc : location; value : int }
+      (** raw data write (never instrumented) *)
+  | Free of { id : int }
+  | Work of int  (** application compute, cycles *)
+
+type t = {
+  name : string;
+  ops : op array;
+}
+
+val generate : ?seed:int -> Profile.t -> t
+(** Derive a concrete trace from a profile: allocations with sampled
+    sizes, deaths on schedule, pointer publications and (mostly) clears
+    before frees, occasional unlucky integers. Deterministic in the
+    seed. *)
+
+val replay : t -> Harness.t -> int
+(** Execute the trace against a stack; returns the number of operations
+    executed. Stores into objects that are already freed (or into ids
+    never allocated) are skipped — a trace is replayable against any
+    scheme regardless of its recycling decisions. *)
+
+val length : t -> int
+val allocation_count : t -> int
+
+(** {1 Text serialisation} *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on malformed input, with a line number. *)
+
+val to_file : t -> string -> unit
+val of_file : string -> t

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Alloc Attack Layout List Minesweeper Vmem Workloads

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Astring_contains Format List Minesweeper

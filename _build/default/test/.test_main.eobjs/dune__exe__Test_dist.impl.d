@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Fun Printf QCheck QCheck_alcotest Sim

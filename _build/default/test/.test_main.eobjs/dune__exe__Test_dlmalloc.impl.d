@@ -1,0 +1,1 @@
+test/test_dlmalloc.ml: Alcotest Alloc Attack Layout List Minesweeper Vmem Workloads

@@ -1,0 +1,1 @@
+test/test_event_log.ml: Alcotest Alloc Astring_contains Format Layout List Minesweeper Vmem

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_contains Experiments List String Workloads

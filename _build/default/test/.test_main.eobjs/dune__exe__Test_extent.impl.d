@@ -1,0 +1,1 @@
+test/test_extent.ml: Alcotest Alloc Gen List QCheck QCheck_alcotest Sim Vmem

@@ -1,0 +1,1 @@
+test/test_ffmalloc.ml: Alcotest Alloc Array Ffmalloc Hashtbl Layout List Printf QCheck QCheck_alcotest Sim Vmem

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Alloc Gen Layout List Minesweeper QCheck QCheck_alcotest Sim Vmem

@@ -1,0 +1,1 @@
+test/test_jemalloc.ml: Alcotest Alloc Gen Hashtbl Layout List Printf QCheck QCheck_alcotest Sim Vmem

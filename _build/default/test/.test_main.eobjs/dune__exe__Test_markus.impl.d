@@ -1,0 +1,1 @@
+test/test_markus.ml: Alcotest Alloc Layout List Markus Vmem

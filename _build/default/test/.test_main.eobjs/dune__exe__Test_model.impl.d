@@ -1,0 +1,1 @@
+test/test_model.ml: Alloc Layout List Minesweeper Printf QCheck QCheck_alcotest Vmem

@@ -1,0 +1,1 @@
+test/test_ptrtrack.ml: Alcotest Alloc Attack Layout List Minesweeper Ptrtrack Sim Vmem Workloads

@@ -1,0 +1,1 @@
+test/test_quarantine.ml: Alcotest Alloc Gen List Minesweeper QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_realloc.ml: Alcotest Alloc Layout List Minesweeper Vmem

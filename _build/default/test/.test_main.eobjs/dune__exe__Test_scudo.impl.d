@@ -1,0 +1,1 @@
+test/test_scudo.ml: Alcotest Alloc Attack Layout List Minesweeper Sim Vmem Workloads

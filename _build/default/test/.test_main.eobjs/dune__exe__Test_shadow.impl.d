@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Gen Layout List Minesweeper QCheck QCheck_alcotest Vmem

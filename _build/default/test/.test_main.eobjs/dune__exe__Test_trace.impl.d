@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Alloc Filename Fun Layout List Minesweeper Printf Sim String Sys Vmem Workloads

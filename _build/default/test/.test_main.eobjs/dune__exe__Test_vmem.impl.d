@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Layout List QCheck QCheck_alcotest Vmem

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Minesweeper Printf Sim Workloads

@@ -1,0 +1,107 @@
+(* Clock (thread/CPU accounting) and Sampler (RSS traces) tests. *)
+
+let test_clock_advance () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance c 100;
+  Sim.Clock.advance c 50;
+  Alcotest.(check int) "wall" 150 (Sim.Clock.now c);
+  Alcotest.(check int) "app busy" 150 (Sim.Clock.app_busy c)
+
+let test_clock_stall () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance c 100;
+  Sim.Clock.stall c 40;
+  Alcotest.(check int) "wall includes stall" 140 (Sim.Clock.now c);
+  Alcotest.(check int) "busy excludes stall" 100 (Sim.Clock.app_busy c);
+  Alcotest.(check int) "stalled" 40 (Sim.Clock.stalled c)
+
+let test_clock_background () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance c 100;
+  Sim.Clock.background c 300;
+  Alcotest.(check int) "wall unaffected by bg" 100 (Sim.Clock.now c);
+  Alcotest.(check int) "bg busy" 300 (Sim.Clock.background_busy c)
+
+let test_cpu_utilisation () =
+  let c = Sim.Clock.create () in
+  Alcotest.(check (float 0.001)) "fresh clock" 1.0 (Sim.Clock.cpu_utilisation c);
+  Sim.Clock.advance c 100;
+  Alcotest.(check (float 0.001)) "single thread" 1.0
+    (Sim.Clock.cpu_utilisation c);
+  Sim.Clock.background c 100;
+  Alcotest.(check (float 0.001)) "with one sweeper" 2.0
+    (Sim.Clock.cpu_utilisation c);
+  Sim.Clock.stall c 100;
+  Alcotest.(check (float 0.001)) "stalls dilute" 1.0
+    (Sim.Clock.cpu_utilisation c)
+
+let test_sampler_peak_average () =
+  let s = Sim.Sampler.create () in
+  Sim.Sampler.record s ~now:0 ~rss:100;
+  Sim.Sampler.record s ~now:10 ~rss:200;
+  Sim.Sampler.record s ~now:20 ~rss:100;
+  Alcotest.(check int) "peak" 200 (Sim.Sampler.peak s);
+  (* trapezoidal: (150*10 + 150*10)/20 = 150 *)
+  Alcotest.(check (float 0.001)) "average" 150. (Sim.Sampler.average s)
+
+let test_sampler_empty () =
+  let s = Sim.Sampler.create () in
+  Alcotest.(check int) "empty peak" 0 (Sim.Sampler.peak s);
+  Alcotest.(check (float 0.001)) "empty avg" 0. (Sim.Sampler.average s);
+  Alcotest.(check int) "empty normalised" 0
+    (Array.length (Sim.Sampler.normalised s ~points:10))
+
+let test_sampler_single () =
+  let s = Sim.Sampler.create () in
+  Sim.Sampler.record s ~now:5 ~rss:77;
+  Alcotest.(check (float 0.001)) "single avg" 77. (Sim.Sampler.average s);
+  Alcotest.(check int) "single peak" 77 (Sim.Sampler.peak s)
+
+let test_sampler_growth () =
+  (* Many samples: tests the growable backing arrays. *)
+  let s = Sim.Sampler.create () in
+  for i = 0 to 9_999 do
+    Sim.Sampler.record s ~now:i ~rss:i
+  done;
+  Alcotest.(check int) "peak is last" 9_999 (Sim.Sampler.peak s);
+  Alcotest.(check int) "all samples kept" 10_000
+    (Array.length (Sim.Sampler.samples s))
+
+let test_sampler_normalised () =
+  let s = Sim.Sampler.create () in
+  Sim.Sampler.record s ~now:0 ~rss:10;
+  Sim.Sampler.record s ~now:100 ~rss:20;
+  let points = Sim.Sampler.normalised s ~points:5 in
+  Alcotest.(check int) "requested points" 5 (Array.length points);
+  let x0, y0 = points.(0) and x4, y4 = points.(4) in
+  Alcotest.(check (float 0.001)) "starts at 0" 0.0 x0;
+  Alcotest.(check (float 0.001)) "ends at 1" 1.0 x4;
+  Alcotest.(check int) "first value" 10 y0;
+  Alcotest.(check int) "last value" 20 y4
+
+let prop_sampler_average_bounded =
+  QCheck.Test.make ~name:"sampler average between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 30) (int_range 0 10_000))
+    (fun values ->
+      QCheck.assume (List.length values >= 2);
+      let s = Sim.Sampler.create () in
+      List.iteri (fun i v -> Sim.Sampler.record s ~now:(i * 10) ~rss:v) values;
+      let avg = Sim.Sampler.average s in
+      let lo = List.fold_left min max_int values in
+      let hi = List.fold_left max 0 values in
+      avg >= float_of_int lo -. 0.001 && avg <= float_of_int hi +. 0.001)
+
+let suite =
+  ( "sim.clock+sampler",
+    [
+      Alcotest.test_case "clock advance" `Quick test_clock_advance;
+      Alcotest.test_case "clock stall" `Quick test_clock_stall;
+      Alcotest.test_case "clock background" `Quick test_clock_background;
+      Alcotest.test_case "cpu utilisation" `Quick test_cpu_utilisation;
+      Alcotest.test_case "sampler peak/average" `Quick test_sampler_peak_average;
+      Alcotest.test_case "sampler empty" `Quick test_sampler_empty;
+      Alcotest.test_case "sampler single" `Quick test_sampler_single;
+      Alcotest.test_case "sampler growth" `Quick test_sampler_growth;
+      Alcotest.test_case "sampler normalised" `Quick test_sampler_normalised;
+      QCheck_alcotest.to_alcotest prop_sampler_average_bounded;
+    ] )

@@ -1,0 +1,132 @@
+(* Distribution sampling tests. *)
+
+let rng () = Sim.Rng.create 5
+
+let test_constant () =
+  let d = Sim.Dist.constant 42 in
+  let r = rng () in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "constant" 42 (Sim.Dist.sample d r)
+  done
+
+let test_uniform_bounds () =
+  let d = Sim.Dist.uniform ~lo:10 ~hi:20 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Sim.Dist.sample d r in
+    Alcotest.(check bool) "in [10,20]" true (v >= 10 && v <= 20)
+  done
+
+let test_uniform_hits_endpoints () =
+  let d = Sim.Dist.uniform ~lo:0 ~hi:3 in
+  let r = rng () in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Sim.Dist.sample d r) <- true
+  done;
+  Alcotest.(check bool) "all endpoints reachable" true
+    (Array.for_all Fun.id seen)
+
+let test_exponential_positive () =
+  let d = Sim.Dist.exponential ~mean:100. in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Sim.Dist.sample d r >= 1)
+  done
+
+let test_exponential_mean () =
+  let d = Sim.Dist.exponential ~mean:500. in
+  let r = rng () in
+  let n = 50_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Sim.Dist.sample d r
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.1f within 5%% of 500" mean)
+    true
+    (mean > 475. && mean < 525.)
+
+let test_pareto_bounds () =
+  let d = Sim.Dist.pareto ~shape:1.3 ~scale:64 ~cap:4096 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Sim.Dist.sample d r in
+    Alcotest.(check bool) "within [scale, cap]" true (v >= 64 && v <= 4096)
+  done
+
+let test_pareto_heavy_tail () =
+  let d = Sim.Dist.pareto ~shape:1.1 ~scale:64 ~cap:65536 in
+  let r = rng () in
+  let big = ref 0 in
+  for _ = 1 to 10_000 do
+    if Sim.Dist.sample d r > 640 then incr big
+  done;
+  (* shape 1.1: P(X > 10*scale) ~ 10^-1.1 ~ 8% *)
+  Alcotest.(check bool) "tail exists" true (!big > 300 && !big < 2000)
+
+let test_choice_mixture () =
+  let d =
+    Sim.Dist.choice
+      [ (0.5, Sim.Dist.constant 1); (0.5, Sim.Dist.constant 1000) ]
+  in
+  let r = rng () in
+  let ones = ref 0 and n = 10_000 in
+  for _ = 1 to n do
+    if Sim.Dist.sample d r = 1 then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "roughly half" true (frac > 0.45 && frac < 0.55)
+
+let test_choice_weights () =
+  let d =
+    Sim.Dist.choice
+      [ (0.9, Sim.Dist.constant 1); (0.1, Sim.Dist.constant 2) ]
+  in
+  let r = rng () in
+  let ones = ref 0 and n = 10_000 in
+  for _ = 1 to n do
+    if Sim.Dist.sample d r = 1 then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "90/10 split" true (frac > 0.87 && frac < 0.93)
+
+let test_shifted () =
+  let d = Sim.Dist.shifted 100 (Sim.Dist.constant 5) in
+  Alcotest.(check int) "shifted" 105 (Sim.Dist.sample d (rng ()))
+
+let test_mean_estimates () =
+  let close a b = Float.abs (a -. b) /. b < 0.01 in
+  Alcotest.(check bool) "constant mean" true
+    (close (Sim.Dist.mean_estimate (Sim.Dist.constant 7)) 7.);
+  Alcotest.(check bool) "uniform mean" true
+    (close (Sim.Dist.mean_estimate (Sim.Dist.uniform ~lo:0 ~hi:10)) 5.);
+  Alcotest.(check bool) "exponential mean" true
+    (close (Sim.Dist.mean_estimate (Sim.Dist.exponential ~mean:42.)) 42.)
+
+let prop_sample_non_negative =
+  QCheck.Test.make ~name:"samples non-negative for non-negative params"
+    ~count:300
+    QCheck.(triple small_int (int_range 0 1000) (int_range 0 1000))
+    (fun (seed, lo, extra) ->
+      let r = Sim.Rng.create seed in
+      let d = Sim.Dist.uniform ~lo ~hi:(lo + extra) in
+      Sim.Dist.sample d r >= 0)
+
+let suite =
+  ( "sim.dist",
+    [
+      Alcotest.test_case "constant" `Quick test_constant;
+      Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+      Alcotest.test_case "uniform endpoints" `Quick test_uniform_hits_endpoints;
+      Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds;
+      Alcotest.test_case "pareto heavy tail" `Quick test_pareto_heavy_tail;
+      Alcotest.test_case "choice mixture" `Quick test_choice_mixture;
+      Alcotest.test_case "choice weights" `Quick test_choice_weights;
+      Alcotest.test_case "shifted" `Quick test_shifted;
+      Alcotest.test_case "mean estimates" `Quick test_mean_estimates;
+      QCheck_alcotest.to_alcotest prop_sample_non_negative;
+    ] )

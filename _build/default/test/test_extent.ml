@@ -1,0 +1,147 @@
+(* Extent manager tests: reuse, coalescing, decay purging and hooks. *)
+
+let page = Vmem.page_size
+
+let fresh ?decay_cycles () =
+  let machine = Alloc.Machine.create () in
+  (machine, Alloc.Extent.create ?decay_cycles machine)
+
+let test_alloc_is_mapped_and_zeroed () =
+  let machine, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:2 in
+  Alcotest.(check bool) "mapped" true
+    (Vmem.is_mapped machine.Alloc.Machine.mem a);
+  Alcotest.(check int) "zeroed" 0 (Vmem.load machine.Alloc.Machine.mem a);
+  Alcotest.(check int) "used accounted" (2 * page)
+    (Alloc.Extent.heap_used_bytes e)
+
+let test_distinct_extents () =
+  let _, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:1 in
+  let b = Alloc.Extent.alloc e ~pages:1 in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+let test_reuse_after_dalloc () =
+  let _, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:4 in
+  Alloc.Extent.dalloc e ~addr:a ~pages:4;
+  let b = Alloc.Extent.alloc e ~pages:4 in
+  Alcotest.(check int) "same range reused" a b
+
+let test_split_reuse () =
+  let _, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:4 in
+  Alloc.Extent.dalloc e ~addr:a ~pages:4;
+  let b = Alloc.Extent.alloc e ~pages:1 in
+  let c = Alloc.Extent.alloc e ~pages:3 in
+  Alcotest.(check int) "front of retained" a b;
+  Alcotest.(check int) "remainder next" (a + page) c
+
+let test_coalescing () =
+  let _, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:2 in
+  let b = Alloc.Extent.alloc e ~pages:2 in
+  Alcotest.(check int) "adjacent" (a + (2 * page)) b;
+  Alloc.Extent.dalloc e ~addr:a ~pages:2;
+  Alloc.Extent.dalloc e ~addr:b ~pages:2;
+  (* Coalesced: a single 4-page allocation fits the merged range. *)
+  let c = Alloc.Extent.alloc e ~pages:4 in
+  Alcotest.(check int) "merged range reused" a c
+
+let test_zeroed_on_reuse () =
+  let machine, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:1 in
+  Vmem.store machine.Alloc.Machine.mem a 999;
+  Alloc.Extent.dalloc e ~addr:a ~pages:1;
+  let b = Alloc.Extent.alloc e ~pages:1 in
+  Alcotest.(check int) "reuse zeroed" 0 (Vmem.load machine.Alloc.Machine.mem b)
+
+let test_decay_purge () =
+  let machine, e = fresh ~decay_cycles:1000 () in
+  let a = Alloc.Extent.alloc e ~pages:2 in
+  Alloc.Extent.dalloc e ~addr:a ~pages:2;
+  Alcotest.(check int) "dirty retained" (2 * page)
+    (Alloc.Extent.retained_dirty_bytes e);
+  Alloc.Extent.purge_tick e;
+  Alcotest.(check int) "too young to purge" (2 * page)
+    (Alloc.Extent.retained_dirty_bytes e);
+  Sim.Clock.advance machine.Alloc.Machine.clock 2000;
+  Alloc.Extent.purge_tick e;
+  Alcotest.(check int) "purged after decay" 0
+    (Alloc.Extent.retained_dirty_bytes e);
+  Alcotest.(check bool) "physical backing dropped" false
+    (Vmem.is_committed machine.Alloc.Machine.mem a)
+
+let test_purge_all () =
+  let machine, e = fresh () in
+  let a = Alloc.Extent.alloc e ~pages:1 in
+  let b = Alloc.Extent.alloc e ~pages:1 in
+  Alloc.Extent.dalloc e ~addr:a ~pages:1;
+  Alloc.Extent.dalloc e ~addr:b ~pages:1;
+  Alloc.Extent.purge_all e;
+  Alcotest.(check int) "all purged" 0 (Alloc.Extent.retained_dirty_bytes e);
+  Alcotest.(check int) "retained address space kept" (2 * page)
+    (Alloc.Extent.retained_bytes e);
+  ignore machine
+
+let test_hooks_fire () =
+  let machine, e = fresh () in
+  let decommits = ref [] and commits = ref [] in
+  Alloc.Extent.set_hooks e
+    {
+      Alloc.Extent.on_decommit =
+        (fun ~addr ~pages -> decommits := (addr, pages) :: !decommits);
+      on_commit = (fun ~addr ~pages -> commits := (addr, pages) :: !commits);
+    };
+  let a = Alloc.Extent.alloc e ~pages:2 in
+  Alloc.Extent.dalloc e ~addr:a ~pages:2;
+  Alloc.Extent.purge_all e;
+  Alcotest.(check (list (pair int int))) "decommit hook" [ (a, 2) ] !decommits;
+  let b = Alloc.Extent.alloc e ~pages:2 in
+  Alcotest.(check int) "purged range recommitted for reuse" a b;
+  Alcotest.(check (list (pair int int))) "commit hook" [ (a, 2) ] !commits;
+  ignore machine
+
+let test_wilderness_monotone () =
+  let _, e = fresh () in
+  let w0 = Alloc.Extent.wilderness e in
+  let a = Alloc.Extent.alloc e ~pages:8 in
+  Alcotest.(check bool) "extent below wilderness" true
+    (a + (8 * page) <= Alloc.Extent.wilderness e);
+  Alcotest.(check bool) "wilderness grew" true (Alloc.Extent.wilderness e > w0);
+  Alloc.Extent.dalloc e ~addr:a ~pages:8;
+  ignore (Alloc.Extent.alloc e ~pages:4);
+  Alcotest.(check int) "reuse does not grow wilderness"
+    (w0 + (8 * page))
+    (Alloc.Extent.wilderness e)
+
+let prop_used_bytes_balanced =
+  QCheck.Test.make ~name:"heap_used_bytes balances allocs and dallocs"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 1 8))
+    (fun sizes ->
+      let _, e = fresh () in
+      let allocated =
+        List.map (fun pages -> (Alloc.Extent.alloc e ~pages, pages)) sizes
+      in
+      List.iter
+        (fun (addr, pages) -> Alloc.Extent.dalloc e ~addr ~pages)
+        allocated;
+      Alloc.Extent.heap_used_bytes e = 0)
+
+let suite =
+  ( "alloc.extent",
+    [
+      Alcotest.test_case "alloc mapped+zeroed" `Quick
+        test_alloc_is_mapped_and_zeroed;
+      Alcotest.test_case "distinct extents" `Quick test_distinct_extents;
+      Alcotest.test_case "reuse after dalloc" `Quick test_reuse_after_dalloc;
+      Alcotest.test_case "split reuse" `Quick test_split_reuse;
+      Alcotest.test_case "coalescing" `Quick test_coalescing;
+      Alcotest.test_case "zeroed on reuse" `Quick test_zeroed_on_reuse;
+      Alcotest.test_case "decay purge" `Quick test_decay_purge;
+      Alcotest.test_case "purge all" `Quick test_purge_all;
+      Alcotest.test_case "hooks fire" `Quick test_hooks_fire;
+      Alcotest.test_case "wilderness monotone" `Quick test_wilderness_monotone;
+      QCheck_alcotest.to_alcotest prop_used_bytes_balanced;
+    ] )

@@ -1,0 +1,134 @@
+(* FFmalloc one-time allocator tests. *)
+
+let fresh () =
+  let machine = Alloc.Machine.create () in
+  (machine, Ffmalloc.create machine)
+
+let test_monotone_addresses () =
+  let _, ff = fresh () in
+  (* Within one size pool, addresses strictly increase. *)
+  let prev = ref 0 in
+  for _ = 1 to 2000 do
+    let p = Ffmalloc.malloc ff 64 in
+    Alcotest.(check bool) "strictly increasing" true (p > !prev);
+    prev := p
+  done
+
+let test_never_reuses_va () =
+  let _, ff = fresh () in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to 5000 do
+    let p = Ffmalloc.malloc ff 64 in
+    Alcotest.(check bool) "virgin address" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ();
+    Ffmalloc.free ff p
+  done
+
+let test_is_freed_address () =
+  let _, ff = fresh () in
+  let p = Ffmalloc.malloc ff 64 in
+  Alcotest.(check bool) "live not freed" false (Ffmalloc.is_freed_address ff p);
+  Ffmalloc.free ff p;
+  Alcotest.(check bool) "freed forever" true (Ffmalloc.is_freed_address ff p)
+
+let test_page_released_when_all_dead () =
+  let machine, ff = fresh () in
+  (* Fill two pool pages of 64B objects, then free them all. *)
+  let ps = List.init 128 (fun _ -> Ffmalloc.malloc ff 64) in
+  let rss_full = Vmem.committed_bytes machine.Alloc.Machine.mem in
+  List.iter (Ffmalloc.free ff) ps;
+  let rss_after = Vmem.committed_bytes machine.Alloc.Machine.mem in
+  Alcotest.(check bool)
+    (Printf.sprintf "pages unmapped (%d -> %d)" rss_full rss_after)
+    true
+    (rss_after <= rss_full - Vmem.page_size)
+
+let test_single_survivor_pins_page () =
+  let machine, ff = fresh () in
+  let ps = Array.init 64 (fun _ -> Ffmalloc.malloc ff 64) in
+  (* Free all but one object on the page; its page must stay resident. *)
+  let keeper = ps.(30) in
+  Array.iteri (fun i p -> if i <> 30 then Ffmalloc.free ff p) ps;
+  Alcotest.(check bool) "keeper's page still mapped" true
+    (Vmem.is_mapped machine.Alloc.Machine.mem keeper);
+  Alcotest.(check int) "keeper readable" 0
+    (Vmem.load machine.Alloc.Machine.mem (keeper - (keeper mod 8)))
+
+let test_large_allocation_unmapped_on_free () =
+  let machine, ff = fresh () in
+  let p = Ffmalloc.malloc ff 100_000 in
+  Vmem.store machine.Alloc.Machine.mem p 5;
+  Ffmalloc.free ff p;
+  Alcotest.(check bool) "large range unmapped" false
+    (Vmem.is_mapped machine.Alloc.Machine.mem p)
+
+let test_usable_size () =
+  let _, ff = fresh () in
+  let p = Ffmalloc.malloc ff 50 in
+  Alcotest.(check int) "rounded to 16" 64 (Ffmalloc.usable_size ff p);
+  let q = Ffmalloc.malloc ff 5000 in
+  Alcotest.(check int) "large rounded to pages" (2 * Vmem.page_size)
+    (Ffmalloc.usable_size ff q)
+
+let test_live_accounting () =
+  let _, ff = fresh () in
+  let p = Ffmalloc.malloc ff 100 in
+  let q = Ffmalloc.malloc ff 200 in
+  Alcotest.(check int) "live count" 2 (Ffmalloc.live_allocations ff);
+  Ffmalloc.free ff p;
+  Ffmalloc.free ff q;
+  Alcotest.(check int) "live empty" 0 (Ffmalloc.live_allocations ff);
+  Alcotest.(check int) "bytes empty" 0 (Ffmalloc.live_bytes ff)
+
+let test_va_consumed_monotone () =
+  let _, ff = fresh () in
+  let v0 = Ffmalloc.va_consumed ff in
+  let p = Ffmalloc.malloc ff 64 in
+  Ffmalloc.free ff p;
+  for _ = 1 to 1000 do
+    Ffmalloc.free ff (Ffmalloc.malloc ff 64)
+  done;
+  Alcotest.(check bool) "address space only grows" true
+    (Ffmalloc.va_consumed ff > v0)
+
+let test_free_rejects_garbage () =
+  let _, ff = fresh () in
+  Alcotest.check_raises "unknown address"
+    (Invalid_argument "Ffmalloc.free: not a live allocation") (fun () ->
+      Ffmalloc.free ff (Layout.heap_base + 8))
+
+let prop_fragmentation_grows_with_survivors =
+  (* The signature FFmalloc behaviour: scattered survivors pin pages, so
+     RSS is far above live bytes. *)
+  QCheck.Test.make ~name:"scattered survivors inflate FFmalloc RSS" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let machine, ff = fresh () in
+      let rng = Sim.Rng.create seed in
+      let survivors = ref [] in
+      for _ = 1 to 4000 do
+        let p = Ffmalloc.malloc ff 64 in
+        if Sim.Rng.bool rng 0.05 then survivors := p :: !survivors
+        else Ffmalloc.free ff p
+      done;
+      let rss = Vmem.committed_bytes machine.Alloc.Machine.mem in
+      rss > 3 * Ffmalloc.live_bytes ff)
+
+let suite =
+  ( "ffmalloc",
+    [
+      Alcotest.test_case "monotone addresses" `Quick test_monotone_addresses;
+      Alcotest.test_case "never reuses VA" `Quick test_never_reuses_va;
+      Alcotest.test_case "is_freed_address" `Quick test_is_freed_address;
+      Alcotest.test_case "page released when all dead" `Quick
+        test_page_released_when_all_dead;
+      Alcotest.test_case "survivor pins page" `Quick
+        test_single_survivor_pins_page;
+      Alcotest.test_case "large unmapped on free" `Quick
+        test_large_allocation_unmapped_on_free;
+      Alcotest.test_case "usable size" `Quick test_usable_size;
+      Alcotest.test_case "live accounting" `Quick test_live_accounting;
+      Alcotest.test_case "VA consumed monotone" `Quick test_va_consumed_monotone;
+      Alcotest.test_case "free rejects garbage" `Quick test_free_rejects_garbage;
+      QCheck_alcotest.to_alcotest prop_fragmentation_grows_with_survivors;
+    ] )

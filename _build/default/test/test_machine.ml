@@ -1,0 +1,79 @@
+(* Machine context tests: sink routing and charge accounting. *)
+
+let test_app_charge () =
+  let m = Alloc.Machine.create () in
+  Alloc.Machine.charge m 100;
+  Alcotest.(check int) "app busy" 100
+    (Sim.Clock.app_busy m.Alloc.Machine.clock);
+  Alcotest.(check int) "wall" 100 (Sim.Clock.now m.Alloc.Machine.clock)
+
+let test_background_sink () =
+  let m = Alloc.Machine.create () in
+  Alloc.Machine.with_sink m Alloc.Machine.Background (fun () ->
+      Alloc.Machine.charge m 100);
+  Alcotest.(check int) "bg busy" 100
+    (Sim.Clock.background_busy m.Alloc.Machine.clock);
+  Alcotest.(check int) "wall unaffected" 0 (Sim.Clock.now m.Alloc.Machine.clock)
+
+let test_stall_sink () =
+  let m = Alloc.Machine.create () in
+  Alloc.Machine.with_sink m Alloc.Machine.Stall (fun () ->
+      Alloc.Machine.charge m 100);
+  Alcotest.(check int) "stalled" 100 (Sim.Clock.stalled m.Alloc.Machine.clock);
+  Alcotest.(check int) "wall includes stall" 100
+    (Sim.Clock.now m.Alloc.Machine.clock);
+  Alcotest.(check int) "busy excludes stall" 0
+    (Sim.Clock.app_busy m.Alloc.Machine.clock)
+
+let test_sink_restored () =
+  let m = Alloc.Machine.create () in
+  (try
+     Alloc.Machine.with_sink m Alloc.Machine.Background (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "sink restored after exception" true
+    (m.Alloc.Machine.sink = Alloc.Machine.App)
+
+let test_charge_bytes () =
+  let m = Alloc.Machine.create () in
+  Alloc.Machine.charge_bytes m 0.5 1000;
+  Alcotest.(check int) "rounded streaming cost" 500
+    (Sim.Clock.app_busy m.Alloc.Machine.clock);
+  Alloc.Machine.charge_bytes m 0.001 10;
+  Alcotest.(check int) "minimum one cycle for non-empty" 501
+    (Sim.Clock.app_busy m.Alloc.Machine.clock);
+  Alloc.Machine.charge_bytes m 1.0 0;
+  Alcotest.(check int) "zero bytes free" 501
+    (Sim.Clock.app_busy m.Alloc.Machine.clock)
+
+let test_demand_commit_charges_fault () =
+  let m = Alloc.Machine.create () in
+  Vmem.map m.Alloc.Machine.mem ~addr:Layout.heap_base ~len:4096;
+  Vmem.decommit m.Alloc.Machine.mem ~addr:Layout.heap_base ~len:4096;
+  let before = Sim.Clock.app_busy m.Alloc.Machine.clock in
+  ignore (Vmem.load m.Alloc.Machine.mem Layout.heap_base);
+  Alcotest.(check int) "page-fault cost charged"
+    (before + m.Alloc.Machine.cost.Sim.Cost.page_fault)
+    (Sim.Clock.app_busy m.Alloc.Machine.clock)
+
+let test_cost_scale_sweep () =
+  let c = Sim.Cost.default in
+  let scaled = Sim.Cost.scale_sweep 2.0 c in
+  Alcotest.(check (float 0.0001)) "sweep doubled"
+    (2.0 *. c.Sim.Cost.sweep_per_byte)
+    scaled.Sim.Cost.sweep_per_byte;
+  Alcotest.(check int) "others untouched" c.Sim.Cost.malloc_fast
+    scaled.Sim.Cost.malloc_fast
+
+let suite =
+  ( "alloc.machine",
+    [
+      Alcotest.test_case "app charge" `Quick test_app_charge;
+      Alcotest.test_case "background sink" `Quick test_background_sink;
+      Alcotest.test_case "stall sink" `Quick test_stall_sink;
+      Alcotest.test_case "sink restored on exception" `Quick test_sink_restored;
+      Alcotest.test_case "charge_bytes" `Quick test_charge_bytes;
+      Alcotest.test_case "demand commit charges fault" `Quick
+        test_demand_commit_charges_fault;
+      Alcotest.test_case "cost scale_sweep" `Quick test_cost_scale_sweep;
+    ] )

@@ -1,0 +1,104 @@
+(* calloc/realloc drop-in API tests, plus the fully-vs-mostly concurrent
+   guarantee difference of Section 4.3. *)
+
+module I = Minesweeper.Instance
+module C = Minesweeper.Config
+
+let fresh ?config () =
+  let machine = Alloc.Machine.create () in
+  List.iter
+    (fun (base, size) ->
+      Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+    Layout.root_regions;
+  (machine, I.create ?config machine)
+
+let test_calloc_zeroed () =
+  let machine, ms = fresh () in
+  let p = I.calloc ms 8 16 in
+  for k = 0 to 15 do
+    Alcotest.(check int) "zeroed word" 0
+      (Vmem.load machine.Alloc.Machine.mem (p + (k * 8)))
+  done;
+  Alcotest.(check bool) "usable covers count*size" true
+    (Alloc.Jemalloc.usable_size (I.jemalloc ms) p >= 128)
+
+let test_realloc_copies_and_quarantines () =
+  let machine, ms = fresh () in
+  let p = I.malloc ms 64 in
+  Vmem.store machine.Alloc.Machine.mem p 111;
+  Vmem.store machine.Alloc.Machine.mem (p + 56) 222;
+  let q = I.realloc ms p 256 in
+  Alcotest.(check bool) "moved" true (q <> p);
+  Alcotest.(check int) "prefix copied" 111 (Vmem.load machine.Alloc.Machine.mem q);
+  Alcotest.(check int) "tail copied" 222
+    (Vmem.load machine.Alloc.Machine.mem (q + 56));
+  Alcotest.(check bool) "old block quarantined" true (I.is_quarantined ms p)
+
+let test_realloc_shrink_keeps_prefix () =
+  let machine, ms = fresh () in
+  let p = I.malloc ms 256 in
+  Vmem.store machine.Alloc.Machine.mem p 7;
+  let q = I.realloc ms p 32 in
+  Alcotest.(check int) "prefix survives shrink" 7
+    (Vmem.load machine.Alloc.Machine.mem q)
+
+let test_realloc_null_and_zero () =
+  let _, ms = fresh () in
+  let p = I.realloc ms 0 64 in
+  Alcotest.(check bool) "realloc(NULL) allocates" true (p <> 0);
+  let r = I.realloc ms p 0 in
+  Alcotest.(check int) "realloc(p,0) frees" 0 r;
+  Alcotest.(check bool) "freed into quarantine" true (I.is_quarantined ms p)
+
+(* Section 4.3: the fully concurrent mode only guarantees to see
+   pointers that existed when the sweep started. A pointer that first
+   appears mid-sweep (e.g. spilled from a register) can be missed by the
+   fully concurrent version but is caught by the mostly concurrent
+   stop-the-world re-scan of dirty pages. *)
+let mid_sweep_pointer_spill config =
+  let machine, ms = fresh ~config () in
+  let mem = machine.Alloc.Machine.mem in
+  let root_slot = Layout.globals_base + 64 in
+  let victim = I.malloc ms 48 in
+  (* Freed with no pointer in memory (it lives "in a register"). *)
+  I.free ms victim;
+  (* Build quarantine pressure until the first sweep (which has locked
+     the victim in) is caught in flight, then spill the register. *)
+  let spilled = ref false in
+  let i = ref 0 in
+  while (not !spilled) && !i < 10_000 do
+    let p = I.malloc ms 64 in
+    I.free ms p;
+    if (not !spilled) && I.sweep_in_progress ms then begin
+      Vmem.store mem root_slot victim;
+      spilled := true
+    end;
+    incr i
+  done;
+  I.drain ms;
+  (!spilled, I.is_quarantined ms victim)
+
+let test_fully_concurrent_can_miss_moved_pointer () =
+  let spilled, held = mid_sweep_pointer_spill C.default in
+  Alcotest.(check bool) "scenario armed (sweep was in flight)" true spilled;
+  Alcotest.(check bool)
+    "fully concurrent missed the mid-sweep spill (by design)" false held
+
+let test_mostly_concurrent_catches_moved_pointer () =
+  let spilled, held = mid_sweep_pointer_spill C.mostly_concurrent in
+  Alcotest.(check bool) "scenario armed (sweep was in flight)" true spilled;
+  Alcotest.(check bool) "stop-the-world re-scan caught the spill" true held
+
+let suite =
+  ( "minesweeper.api",
+    [
+      Alcotest.test_case "calloc zeroed" `Quick test_calloc_zeroed;
+      Alcotest.test_case "realloc copies + quarantines" `Quick
+        test_realloc_copies_and_quarantines;
+      Alcotest.test_case "realloc shrink" `Quick test_realloc_shrink_keeps_prefix;
+      Alcotest.test_case "realloc NULL/zero" `Quick test_realloc_null_and_zero;
+      Alcotest.test_case "fully concurrent misses mid-sweep spill" `Quick
+        test_fully_concurrent_can_miss_moved_pointer;
+      Alcotest.test_case "mostly concurrent catches mid-sweep spill" `Quick
+        test_mostly_concurrent_catches_moved_pointer;
+    ] )

@@ -1,0 +1,138 @@
+(* Report-library tests: summary math, tables, charts, literature data. *)
+
+let test_geomean () =
+  Alcotest.(check (float 0.0001)) "empty" 1.0 (Report.Summary.geomean []);
+  Alcotest.(check (float 0.0001)) "singleton" 2.0 (Report.Summary.geomean [ 2.0 ]);
+  Alcotest.(check (float 0.0001)) "pair" 2.0 (Report.Summary.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 0.0001)) "identity elements" 3.0
+    (Report.Summary.geomean [ 3.0; 3.0; 3.0 ])
+
+let test_mean_worst () =
+  Alcotest.(check (float 0.0001)) "mean" 2.0 (Report.Summary.mean [ 1.0; 3.0 ]);
+  Alcotest.(check (float 0.0001)) "worst" 3.0 (Report.Summary.worst [ 1.0; 3.0; 2.0 ])
+
+let test_percent_overhead () =
+  Alcotest.(check (float 0.0001)) "5.4%" 5.4
+    (Report.Summary.percent_overhead 1.054)
+
+let test_table_alignment () =
+  let t = Report.Table.create ~columns:[ "bench"; "a"; "b" ] in
+  Report.Table.add_row t "x" [ 1.0; 2.5 ];
+  Report.Table.add_row t "longer-name" [ 10.25; 0.125 ];
+  let s = Report.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: row1 :: row2 :: _ ->
+    Alcotest.(check int) "rows equal width" (String.length row1)
+      (String.length row2);
+    Alcotest.(check bool) "header present" true
+      (Astring_contains.contains header "bench")
+  | _ -> Alcotest.fail "expected at least three lines");
+  Alcotest.(check bool) "values formatted" true
+    (Astring_contains.contains s "1.000" && Astring_contains.contains s "10.2")
+
+let test_table_nan () =
+  let t = Report.Table.create ~columns:[ "bench"; "v" ] in
+  Report.Table.add_row t "x" [ Float.nan ];
+  Alcotest.(check bool) "NaN renders as dash" true
+    (Astring_contains.contains (Report.Table.render t) "-")
+
+let test_bars () =
+  let s = Report.Chart.bars [ ("a", 1.0); ("b", 2.0) ] in
+  Alcotest.(check bool) "labels present" true
+    (Astring_contains.contains s "a" && Astring_contains.contains s "b");
+  (* b's bar should be about twice as long as a's. *)
+  let count_hashes line =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+  in
+  (match String.split_on_char '\n' s with
+  | la :: lb :: _ ->
+    Alcotest.(check bool) "proportional bars" true
+      (count_hashes lb >= (2 * count_hashes la) - 1)
+  | _ -> Alcotest.fail "two lines expected")
+
+let test_grouped_bars () =
+  let s =
+    Report.Chart.grouped_bars ~series:[ "s1"; "s2" ]
+      [ ("g", [ 1.0; 2.0 ]) ]
+  in
+  Alcotest.(check bool) "group label" true (Astring_contains.contains s "g");
+  Alcotest.(check bool) "series labels" true
+    (Astring_contains.contains s "s1" && Astring_contains.contains s "s2")
+
+let test_line_chart () =
+  let series =
+    [ ("up", Array.init 10 (fun i -> (float_of_int i /. 9., float_of_int i))) ]
+  in
+  let s = Report.Chart.line ~series () in
+  Alcotest.(check bool) "legend" true (Astring_contains.contains s "up");
+  Alcotest.(check bool) "ymax header" true (Astring_contains.contains s "ymax");
+  let s_empty = Report.Chart.line ~series:[ ("e", [||]) ] () in
+  Alcotest.(check bool) "empty series handled" true
+    (Astring_contains.contains s_empty "no data")
+
+let test_literature_fig1 () =
+  Alcotest.(check int) "eight NVD years" 8
+    (List.length Report.Literature.nvd_uaf);
+  Alcotest.(check int) "four kernel years" 4
+    (List.length Report.Literature.linux_uaf);
+  (* The figure's story: a consistent rise. *)
+  let first = List.hd Report.Literature.nvd_uaf in
+  let last = List.nth Report.Literature.nvd_uaf 7 in
+  Alcotest.(check bool) "rising trend" true
+    (last.Report.Literature.uaf_count > 3 * first.Report.Literature.uaf_count)
+
+let test_literature_lookup () =
+  (match Report.Literature.slowdown ~scheme:"DangSan" ~bench:"perlbench" with
+  | Some v ->
+    Alcotest.(check bool) "DangSan perlbench is the 4.6 outlier" true
+      (v > 4.0)
+  | None -> Alcotest.fail "value expected");
+  Alcotest.(check bool) "unknown scheme" true
+    (Report.Literature.slowdown ~scheme:"nonesuch" ~bench:"gcc" = None);
+  Alcotest.(check bool) "unknown bench" true
+    (Report.Literature.memory_overhead ~scheme:"Oscar" ~bench:"nonesuch" = None)
+
+let test_literature_complete () =
+  (* Every quoted scheme must cover all 19 SPEC2006 benchmarks in both
+     figures. *)
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun bench ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s slowdown" scheme bench)
+            true
+            (Report.Literature.slowdown ~scheme ~bench <> None);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s memory" scheme bench)
+            true
+            (Report.Literature.memory_overhead ~scheme ~bench <> None))
+        Workloads.Spec2006.names)
+    Report.Literature.quoted_schemes
+
+let prop_geomean_bounded =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.))
+    (fun xs ->
+      let g = Report.Summary.geomean xs in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max 0. xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "mean/worst" `Quick test_mean_worst;
+      Alcotest.test_case "percent overhead" `Quick test_percent_overhead;
+      Alcotest.test_case "table alignment" `Quick test_table_alignment;
+      Alcotest.test_case "table NaN" `Quick test_table_nan;
+      Alcotest.test_case "bars" `Quick test_bars;
+      Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+      Alcotest.test_case "line chart" `Quick test_line_chart;
+      Alcotest.test_case "literature fig1" `Quick test_literature_fig1;
+      Alcotest.test_case "literature lookup" `Quick test_literature_lookup;
+      Alcotest.test_case "literature complete" `Quick test_literature_complete;
+      QCheck_alcotest.to_alcotest prop_geomean_bounded;
+    ] )

@@ -1,0 +1,80 @@
+(* Unit and property tests for the deterministic RNG. *)
+
+let test_deterministic () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let test_seed_changes_stream () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Sim.Rng.next a <> Sim.Rng.next b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_split_independent () =
+  let parent = Sim.Rng.create 7 in
+  let child = Sim.Rng.split parent in
+  let child_values = List.init 10 (fun _ -> Sim.Rng.next child) in
+  let parent_values = List.init 10 (fun _ -> Sim.Rng.next parent) in
+  Alcotest.(check bool) "streams differ" true (child_values <> parent_values)
+
+let test_non_negative () =
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "next >= 0" true (Sim.Rng.next rng >= 0)
+  done
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Rng.int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"Rng.float within bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let prop_bool_probability =
+  QCheck.Test.make ~name:"Rng.bool respects extreme probabilities" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      (not (Sim.Rng.bool rng 0.0)) && Sim.Rng.bool rng 1.0)
+
+let test_uniformity () =
+  (* Chi-squared-lite: each of 10 buckets should receive 10% +- 3%. *)
+  let rng = Sim.Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Sim.Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let frac = float_of_int count /. float_of_int n in
+      Alcotest.(check bool) "bucket within 3% of uniform" true
+        (frac > 0.07 && frac < 0.13))
+    buckets
+
+let suite =
+  ( "sim.rng",
+    [
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "seed changes stream" `Quick test_seed_changes_stream;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "non-negative" `Quick test_non_negative;
+      Alcotest.test_case "uniformity" `Quick test_uniformity;
+      QCheck_alcotest.to_alcotest prop_int_bounds;
+      QCheck_alcotest.to_alcotest prop_float_bounds;
+      QCheck_alcotest.to_alcotest prop_bool_probability;
+    ] )

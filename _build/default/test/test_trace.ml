@@ -1,0 +1,135 @@
+(* Trace generate / serialise / replay tests. *)
+
+let tiny_profile =
+  Workloads.Profile.make ~name:"trace-test" ~suite:"test" ~ops:3000
+    ~size:(Sim.Dist.uniform ~lo:16 ~hi:512)
+    ~lifetime:(Sim.Dist.exponential ~mean:200.)
+    ~work_per_op:100 ()
+
+let fresh_stack scheme =
+  let machine = Alloc.Machine.create () in
+  List.iter
+    (fun (base, size) ->
+      Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+    Layout.root_regions;
+  Workloads.Harness.build scheme ~threads:1 machine
+
+let test_generate_structure () =
+  let t = Workloads.Trace.generate tiny_profile in
+  Alcotest.(check int) "one alloc per op" 3000
+    (Workloads.Trace.allocation_count t);
+  Alcotest.(check bool) "frees and writes present" true
+    (Workloads.Trace.length t > 6000)
+
+let test_generate_deterministic () =
+  let a = Workloads.Trace.generate ~seed:7 tiny_profile in
+  let b = Workloads.Trace.generate ~seed:7 tiny_profile in
+  Alcotest.(check string) "identical traces"
+    (Workloads.Trace.to_string a)
+    (Workloads.Trace.to_string b);
+  let c = Workloads.Trace.generate ~seed:8 tiny_profile in
+  Alcotest.(check bool) "seed changes the trace" true
+    (Workloads.Trace.to_string a <> Workloads.Trace.to_string c)
+
+let test_roundtrip () =
+  let t = Workloads.Trace.generate tiny_profile in
+  let parsed = Workloads.Trace.of_string (Workloads.Trace.to_string t) in
+  Alcotest.(check string) "serialise . parse = id"
+    (Workloads.Trace.to_string t)
+    (Workloads.Trace.to_string parsed);
+  Alcotest.(check string) "name preserved" "trace-test"
+    parsed.Workloads.Trace.name
+
+let test_parse_errors () =
+  Alcotest.check_raises "bad op"
+    (Failure "Trace.of_string: line 1: unrecognised op: zz 1 2") (fun () ->
+      ignore (Workloads.Trace.of_string "zz 1 2"));
+  Alcotest.check_raises "bad int"
+    (Failure "Trace.of_string: line 1: size") (fun () ->
+      ignore (Workloads.Trace.of_string "a 1 pancake"))
+
+let test_file_roundtrip () =
+  let t = Workloads.Trace.generate tiny_profile in
+  let path = Filename.temp_file "msweep" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workloads.Trace.to_file t path;
+      let back = Workloads.Trace.of_file path in
+      Alcotest.(check int) "ops preserved" (Workloads.Trace.length t)
+        (Workloads.Trace.length back))
+
+let test_replay_all_schemes () =
+  let t = Workloads.Trace.generate tiny_profile in
+  List.iter
+    (fun scheme ->
+      let stack = fresh_stack scheme in
+      let executed = Workloads.Trace.replay t stack in
+      Alcotest.(check int)
+        (stack.Workloads.Harness.scheme ^ " executes every op")
+        (Workloads.Trace.length t) executed;
+      Alcotest.(check bool) "time advanced" true
+        (Sim.Clock.wall stack.Workloads.Harness.machine.Alloc.Machine.clock > 0))
+    [
+      Workloads.Harness.Baseline;
+      Workloads.Harness.Mine_sweeper Minesweeper.Config.default;
+      Workloads.Harness.Mark_us;
+      Workloads.Harness.Ff_malloc;
+      Workloads.Harness.Cr_count;
+      Workloads.Harness.P_sweeper;
+      Workloads.Harness.Dang_san;
+    ]
+
+let test_replay_deterministic () =
+  let t = Workloads.Trace.generate tiny_profile in
+  let wall scheme =
+    let stack = fresh_stack scheme in
+    ignore (Workloads.Trace.replay t stack);
+    Sim.Clock.wall stack.Workloads.Harness.machine.Alloc.Machine.clock
+  in
+  Alcotest.(check int) "same trace, same cycles"
+    (wall (Workloads.Harness.Mine_sweeper Minesweeper.Config.default))
+    (wall (Workloads.Harness.Mine_sweeper Minesweeper.Config.default))
+
+let test_replay_protection () =
+  (* A hand-written trace with a deliberate dangling pointer: the freed
+     object must stay quarantined under MineSweeper during replay. *)
+  let text =
+    "# msweep-trace v1 dangling\n\
+     a 0 64\n\
+     p r 1 0\n\
+     x 0\n"
+    ^ String.concat ""
+        (List.init 3000 (fun i ->
+             Printf.sprintf "a %d 64\nx %d\n" (i + 1) (i + 1)))
+  in
+  let t = Workloads.Trace.of_string text in
+  let stack =
+    fresh_stack (Workloads.Harness.Mine_sweeper Minesweeper.Config.default)
+  in
+  ignore (Workloads.Trace.replay t stack);
+  Alcotest.(check bool) "sweeps ran during replay" true
+    (stack.Workloads.Harness.sweeps () > 0);
+  (* The dangling root pointer still holds the victim's address. *)
+  let victim =
+    Vmem.load stack.Workloads.Harness.machine.Alloc.Machine.mem
+      (Layout.stack_base + 8)
+  in
+  Alcotest.(check bool) "victim address preserved in root" true
+    (Layout.in_heap victim);
+  Alcotest.(check bool) "victim quarantined" true
+    (stack.Workloads.Harness.is_protected_addr victim)
+
+let suite =
+  ( "workloads.trace",
+    [
+      Alcotest.test_case "generate structure" `Quick test_generate_structure;
+      Alcotest.test_case "generate deterministic" `Quick
+        test_generate_deterministic;
+      Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      Alcotest.test_case "replay all schemes" `Quick test_replay_all_schemes;
+      Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
+      Alcotest.test_case "replay protection" `Quick test_replay_protection;
+    ] )

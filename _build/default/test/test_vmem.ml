@@ -1,0 +1,183 @@
+(* Virtual-memory substrate tests: mapping, protection, commit cycle,
+   word access, soft-dirty tracking and the sweep iterator. *)
+
+let page = Vmem.page_size
+let base = Layout.heap_base
+
+let fresh () =
+  let m = Vmem.create () in
+  Vmem.map m ~addr:base ~len:(4 * page);
+  m
+
+let test_map_and_access () =
+  let m = fresh () in
+  Alcotest.(check bool) "mapped" true (Vmem.is_mapped m base);
+  Alcotest.(check bool) "committed" true (Vmem.is_committed m base);
+  Vmem.store m base 0xDEAD;
+  Alcotest.(check int) "load returns store" 0xDEAD (Vmem.load m base);
+  Alcotest.(check int) "fresh pages zeroed" 0 (Vmem.load m (base + 8))
+
+let test_unmapped_faults () =
+  let m = fresh () in
+  Alcotest.check_raises "load unmapped"
+    (Vmem.Fault (Vmem.Unmapped_access, base + (8 * page)))
+    (fun () -> ignore (Vmem.load m (base + (8 * page))));
+  Alcotest.check_raises "store unmapped"
+    (Vmem.Fault (Vmem.Unmapped_access, base + (8 * page)))
+    (fun () -> Vmem.store m (base + (8 * page)) 1)
+
+let test_unmap () =
+  let m = fresh () in
+  Vmem.unmap m ~addr:base ~len:page;
+  Alcotest.(check bool) "unmapped" false (Vmem.is_mapped m base);
+  Alcotest.(check bool) "rest still mapped" true (Vmem.is_mapped m (base + page))
+
+let test_protection () =
+  let m = fresh () in
+  Vmem.protect m ~addr:base ~len:page Vmem.Read_only;
+  Alcotest.(check int) "read allowed" 0 (Vmem.load m base);
+  Alcotest.check_raises "write denied"
+    (Vmem.Fault (Vmem.Protection_violation, base))
+    (fun () -> Vmem.store m base 1);
+  Vmem.protect m ~addr:base ~len:page Vmem.No_access;
+  Alcotest.check_raises "read denied"
+    (Vmem.Fault (Vmem.Protection_violation, base))
+    (fun () -> ignore (Vmem.load m base));
+  Vmem.protect m ~addr:base ~len:page Vmem.Read_write;
+  Vmem.store m base 9;
+  Alcotest.(check int) "restored" 9 (Vmem.load m base)
+
+let test_decommit_loses_content () =
+  let m = fresh () in
+  Vmem.store m base 123;
+  Vmem.decommit m ~addr:base ~len:page;
+  Alcotest.(check bool) "not committed" false (Vmem.is_committed m base);
+  (* Demand-commit on access returns zeroed memory. *)
+  Alcotest.(check int) "zeroed after decommit" 0 (Vmem.load m base);
+  Alcotest.(check bool) "recommitted by access" true (Vmem.is_committed m base)
+
+let test_demand_commit_hook () =
+  let m = fresh () in
+  let faults = ref 0 in
+  Vmem.set_demand_commit_hook m (fun ~pages -> faults := !faults + pages);
+  Vmem.decommit m ~addr:base ~len:(2 * page);
+  ignore (Vmem.load m base);
+  ignore (Vmem.load m (base + page));
+  ignore (Vmem.load m base);
+  Alcotest.(check int) "two demand commits" 2 !faults
+
+let test_committed_bytes () =
+  let m = fresh () in
+  Alcotest.(check int) "initial rss" (4 * page) (Vmem.committed_bytes m);
+  Vmem.decommit m ~addr:base ~len:page;
+  Alcotest.(check int) "after decommit" (3 * page) (Vmem.committed_bytes m);
+  Vmem.commit m ~addr:base ~len:page;
+  Alcotest.(check int) "after commit" (4 * page) (Vmem.committed_bytes m);
+  Vmem.unmap m ~addr:base ~len:(4 * page);
+  Alcotest.(check int) "after unmap" 0 (Vmem.committed_bytes m)
+
+let test_zero_range_partial () =
+  let m = fresh () in
+  Vmem.store m base 1;
+  Vmem.store m (base + 8) 2;
+  Vmem.store m (base + 16) 3;
+  Vmem.zero_range m ~addr:(base + 8) ~len:8;
+  Alcotest.(check int) "before untouched" 1 (Vmem.load m base);
+  Alcotest.(check int) "zeroed" 0 (Vmem.load m (base + 8));
+  Alcotest.(check int) "after untouched" 3 (Vmem.load m (base + 16))
+
+let test_zero_range_spans_pages () =
+  let m = fresh () in
+  Vmem.store m (base + page - 8) 7;
+  Vmem.store m (base + page) 8;
+  Vmem.zero_range m ~addr:(base + page - 8) ~len:16;
+  Alcotest.(check int) "end of page zeroed" 0 (Vmem.load m (base + page - 8));
+  Alcotest.(check int) "start of next zeroed" 0 (Vmem.load m (base + page))
+
+let test_soft_dirty () =
+  let m = fresh () in
+  Vmem.clear_soft_dirty m;
+  Alcotest.(check int) "clean" 0 (Vmem.soft_dirty_pages m);
+  Vmem.store m base 1;
+  Vmem.store m (base + 8) 2 (* same page *);
+  Vmem.store m (base + (2 * page)) 3;
+  Alcotest.(check int) "two dirty pages" 2 (Vmem.soft_dirty_pages m);
+  let seen = ref [] in
+  Vmem.iter_soft_dirty_pages m (fun p -> seen := p :: !seen);
+  Alcotest.(check bool) "first page dirty" true (List.mem base !seen);
+  Alcotest.(check bool) "third page dirty" true
+    (List.mem (base + (2 * page)) !seen)
+
+let test_iter_committed_words () =
+  let m = fresh () in
+  Vmem.store m base 10;
+  Vmem.store m (base + 8) 20;
+  let seen = ref [] in
+  Vmem.iter_committed_words m ~addr:base ~len:16 (fun a w ->
+      seen := (a, w) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "both words in order"
+    [ (base, 10); (base + 8, 20) ]
+    (List.rev !seen)
+
+let test_iter_skips_protected_and_decommitted () =
+  let m = fresh () in
+  Vmem.store m base 1;
+  Vmem.store m (base + page) 2;
+  Vmem.store m (base + (2 * page)) 3;
+  Vmem.protect m ~addr:base ~len:page Vmem.No_access;
+  Vmem.decommit m ~addr:(base + page) ~len:page;
+  let count = ref 0 and total = ref 0 in
+  Vmem.iter_committed_words m ~addr:base ~len:(3 * page) (fun _ w ->
+      incr count;
+      total := !total + w);
+  (* Only the third page is visited: 512 words, sum 3. *)
+  Alcotest.(check int) "words visited" (page / 8) !count;
+  Alcotest.(check int) "content" 3 !total;
+  (* Crucially, the decommitted page was NOT demand-committed. *)
+  Alcotest.(check bool) "no demand commit" false
+    (Vmem.is_committed m (base + page))
+
+let test_iter_readable_pages () =
+  let m = fresh () in
+  Vmem.protect m ~addr:base ~len:page Vmem.No_access;
+  Vmem.decommit m ~addr:(base + page) ~len:page;
+  let pages = ref [] in
+  Vmem.iter_readable_pages m (fun p _ -> pages := p :: !pages);
+  let sorted = List.sort compare !pages in
+  Alcotest.(check (list int)) "two readable pages"
+    [ base + (2 * page); base + (3 * page) ]
+    sorted;
+  Alcotest.(check int) "readable bytes" (2 * page) (Vmem.readable_bytes m)
+
+let prop_store_load_roundtrip =
+  QCheck.Test.make ~name:"store/load round-trips any word" ~count:300
+    QCheck.(pair (int_range 0 511) (int_range 0 max_int))
+    (fun (word_index, value) ->
+      let m = fresh () in
+      let addr = base + (word_index * 8) in
+      Vmem.store m addr value;
+      Vmem.load m addr = value)
+
+let suite =
+  ( "vmem",
+    [
+      Alcotest.test_case "map and access" `Quick test_map_and_access;
+      Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults;
+      Alcotest.test_case "unmap" `Quick test_unmap;
+      Alcotest.test_case "protection" `Quick test_protection;
+      Alcotest.test_case "decommit loses content" `Quick
+        test_decommit_loses_content;
+      Alcotest.test_case "demand-commit hook" `Quick test_demand_commit_hook;
+      Alcotest.test_case "committed bytes" `Quick test_committed_bytes;
+      Alcotest.test_case "zero_range partial" `Quick test_zero_range_partial;
+      Alcotest.test_case "zero_range spans pages" `Quick
+        test_zero_range_spans_pages;
+      Alcotest.test_case "soft dirty" `Quick test_soft_dirty;
+      Alcotest.test_case "iter committed words" `Quick
+        test_iter_committed_words;
+      Alcotest.test_case "iter skips protected/decommitted" `Quick
+        test_iter_skips_protected_and_decommitted;
+      Alcotest.test_case "iter readable pages" `Quick test_iter_readable_pages;
+      QCheck_alcotest.to_alcotest prop_store_load_roundtrip;
+    ] )
