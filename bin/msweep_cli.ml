@@ -7,7 +7,10 @@
      figures [--only IDS]      regenerate paper figures (see bench/)
      attack [-s SCHEME]        run the Figure-2 exploit scenarios
      trace-gen -b BENCH -o F   derive a portable trace file from a profile
-     trace-replay -i F -s S    replay a trace file against a scheme *)
+     trace-replay -i F -s S    replay a trace file against a scheme
+     check [-i F] [--oracle] [--corpus]
+                               lint traces, audit a differential replay,
+                               self-test the lint corpus *)
 
 open Cmdliner
 
@@ -226,6 +229,122 @@ let trace_replay_cmd =
   in
   Cmd.v (Cmd.info "trace-replay" ~doc) Term.(const f $ in_arg $ scheme_arg)
 
+let check_cmd =
+  let doc =
+    "Lint trace files and (optionally) audit a differential replay. Exits \
+     non-zero when any check finds something."
+  in
+  let files_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "in" ] ~doc:"Trace file to check (repeatable)")
+  in
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Also replay each trace under MineSweeper with the differential \
+             sweep oracle and the cross-layer invariant audit")
+  in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:
+            "Self-test: lint the seeded known-bad corpus (each case must \
+             raise exactly its expected rules) and the well-behaved control \
+             traces (which must stay clean)")
+  in
+  let config_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "config" ]
+          ~doc:"Oracle configuration: default, mostly, partial")
+  in
+  let latency_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "latency" ]
+          ~doc:
+            "Completed sweeps an unreferenced quarantined allocation may \
+             survive before the oracle reports it as retained")
+  in
+  let oracle_config = function
+    | "default" -> Minesweeper.Config.default
+    | "mostly" -> Minesweeper.Config.mostly_concurrent
+    | "partial" -> Minesweeper.Config.partial_quarantine
+    | s -> invalid_arg ("unknown oracle config " ^ s)
+  in
+  let f files oracle corpus config latency =
+    let findings = ref 0 in
+    let print_diags diags =
+      findings := !findings + List.length diags;
+      List.iter
+        (fun d -> Fmt.pr "  %s@." (Sanitizer.Diagnostic.to_string d))
+        diags
+    in
+    List.iter
+      (fun file ->
+        let trace = Workloads.Trace.of_file file in
+        let diags = Sanitizer.Trace_lint.lint trace in
+        Fmt.pr "%s: lint: %d finding(s)@." file (List.length diags);
+        print_diags diags;
+        if oracle then begin
+          let r =
+            Sanitizer.Sweep_oracle.run ~config:(oracle_config config)
+              ~latency_sweeps:latency trace
+          in
+          let diags = Sanitizer.Sweep_oracle.findings r in
+          Fmt.pr
+            "%s: oracle: %d ops, %d allocs, %d frees, %d releases, %d \
+             sweeps, %d finding(s)@."
+            file r.Sanitizer.Sweep_oracle.ops r.Sanitizer.Sweep_oracle.allocs
+            r.Sanitizer.Sweep_oracle.frees r.Sanitizer.Sweep_oracle.releases
+            r.Sanitizer.Sweep_oracle.sweeps (List.length diags);
+          print_diags diags
+        end)
+      files;
+    if corpus then begin
+      Fmt.pr "corpus self-test:@.";
+      List.iter
+        (fun (c : Sanitizer.Corpus.case) ->
+          let diags = Sanitizer.Trace_lint.lint c.trace in
+          let got =
+            List.sort_uniq compare
+              (List.map (fun d -> d.Sanitizer.Diagnostic.rule) diags)
+          in
+          if got = c.expected_rules then
+            Fmt.pr "  ok   %-22s [%s]@." c.name (String.concat "; " got)
+          else begin
+            incr findings;
+            Fmt.pr "  FAIL %-22s expected [%s] got [%s]@." c.name
+              (String.concat "; " c.expected_rules)
+              (String.concat "; " got)
+          end)
+        Sanitizer.Corpus.cases;
+      List.iter
+        (fun trace ->
+          match Sanitizer.Trace_lint.lint trace with
+          | [] ->
+            Fmt.pr "  ok   %-22s clean@." trace.Workloads.Trace.name
+          | diags ->
+            Fmt.pr "  FAIL %-22s %d diagnostic(s) on a well-behaved trace@."
+              trace.Workloads.Trace.name (List.length diags);
+            print_diags diags)
+        (Sanitizer.Corpus.well_behaved ())
+    end;
+    if (not corpus) && files = [] then
+      Fmt.pr "nothing to check: pass -i FILE and/or --corpus@.";
+    if !findings > 0 then begin
+      Fmt.pr "check: %d finding(s)@." !findings;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const f $ files_arg $ oracle_arg $ corpus_arg $ config_arg $ latency_arg)
+
 let () =
   let doc = "MineSweeper reproduction driver" in
   let info = Cmd.info "msweep" ~doc in
@@ -234,5 +353,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; compare_cmd; figures_cmd; attack_cmd;
-            trace_gen_cmd; trace_replay_cmd;
+            trace_gen_cmd; trace_replay_cmd; check_cmd;
           ]))

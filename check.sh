@@ -1,0 +1,49 @@
+#!/bin/sh
+# One-command verification gate: build, tests, sanitizer checks.
+#
+# The oracle runs with a high --latency so its retention warnings (the
+# conservatism MineSweeper deliberately accepts, present on any workload
+# with unlucky integers) do not fail the gate: here it referees
+# soundness and the cross-layer invariants only.
+set -eu
+cd "$(dirname "$0")"
+
+CLI=_build/default/bin/msweep_cli.exe
+TMPDIR="${TMPDIR:-/tmp}"
+workdir=$(mktemp -d "$TMPDIR/msweep-check.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== sanitizer corpus self-test"
+"$CLI" check --corpus
+
+echo "== lint + sweep oracle over example traces"
+# espresso (mimalloc-bench): well-behaved — must be fully clean.
+"$CLI" trace-gen --suite mimalloc -b espresso --scale 0.05 \
+  -o "$workdir/espresso.trace" >/dev/null
+"$CLI" check -i "$workdir/espresso.trace" --oracle --latency 100000
+
+# perlbench (spec2006): nonzero dangling rate — the lint must warn, and
+# the oracle must still certify MineSweeper sound on it.
+"$CLI" trace-gen --suite spec2006 -b perlbench --scale 0.05 \
+  -o "$workdir/perl.trace" >/dev/null
+if "$CLI" check -i "$workdir/perl.trace" >/dev/null; then
+  echo "FAIL: lint found nothing on a dangling-rate workload" >&2
+  exit 1
+fi
+echo "lint flags the dangling-rate workload (expected)"
+"$CLI" check -i "$workdir/perl.trace" --oracle --latency 100000 >/dev/null 2>&1 \
+  && { echo "FAIL: oracle run unexpectedly clean (lint should still fail it)" >&2; exit 1; }
+# The exit above reflects the lint warnings; certify the oracle verdict
+# separately: soundness + invariant findings must be absent.
+"$CLI" check -i "$workdir/perl.trace" --oracle --latency 100000 2>&1 \
+  | grep -q "oracle-unsound\|inv-" \
+  && { echo "FAIL: oracle reported unsoundness on the default config" >&2; exit 1; }
+echo "oracle certifies the default config sound on it"
+
+echo "== all checks passed"

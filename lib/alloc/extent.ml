@@ -142,6 +142,11 @@ let purge_tick t =
 
 let purge_all t = purge_matching t (fun _ -> true)
 
+let iter_retained t f =
+  Addr_map.iter
+    (fun base r -> f ~addr:base ~pages:r.pages ~committed:r.committed)
+    t.retained
+
 let retained_bytes t = t.retained_total
 let retained_dirty_bytes t = t.retained_dirty
 let heap_used_bytes t = t.used_bytes

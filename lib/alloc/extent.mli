@@ -45,6 +45,11 @@ val purge_all : t -> unit
 (** Purge every dirty retained extent immediately (MineSweeper's
     post-sweep full purge). *)
 
+val iter_retained : t -> (addr:int -> pages:int -> committed:bool -> unit) -> unit
+(** Visit every retained extent in ascending address order — the
+    sanitizer's window into the extent map for overlap/alignment and
+    accounting audits. [committed = false] means the range was purged. *)
+
 val retained_bytes : t -> int
 val retained_dirty_bytes : t -> int
 val heap_used_bytes : t -> int

@@ -258,6 +258,30 @@ let allocation_containing t addr =
 
 let live_bytes t = t.live_bytes
 let live_allocations t = t.live_allocs
+let extent t = t.extent
+let extra_byte t = t.extra_byte
+
+let iter_slabs t f =
+  (* slab_of_page has one entry per page of each slab; dedup by base. *)
+  let seen = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ slab ->
+      if not (Hashtbl.mem seen slab.base) then begin
+        Hashtbl.replace seen slab.base ();
+        f ~base:slab.base ~cls:slab.cls ~slots:slab.slots ~used:slab.used
+          ~free_slots:slab.free
+      end)
+    t.slab_of_page
+
+let iter_large t f = Hashtbl.iter (fun base pages -> f ~base ~pages) t.large
+
+let tcache_count t cls =
+  assert (cls >= 0 && cls < Size_class.count);
+  t.tcache.(cls).count
+
+let tcache_items t cls =
+  assert (cls >= 0 && cls < Size_class.count);
+  t.tcache.(cls).items
 let set_extent_hooks t hooks = Extent.set_hooks t.extent hooks
 let purge_tick t = Extent.purge_tick t.extent
 let purge_all t = Extent.purge_all t.extent

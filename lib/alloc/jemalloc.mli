@@ -42,6 +42,34 @@ val live_bytes : t -> int
 
 val live_allocations : t -> int
 
+val extent : t -> Extent.t
+(** The underlying extent allocator (sanitizer audits only). *)
+
+val extra_byte : t -> bool
+(** Whether the +1-byte modification is active on this instance. *)
+
+(** {1 Introspection for the sanitizer's cross-layer audit}
+
+    These expose the internal accounting so {!Sanitizer.Invariants} can
+    recompute it independently; they are not part of the allocator API. *)
+
+val iter_slabs :
+  t ->
+  (base:int -> cls:int -> slots:int -> used:int -> free_slots:int list -> unit) ->
+  unit
+(** Visit every live slab once. [used] counts slots handed out (slots
+    parked in the thread cache included); [free_slots] are the free slot
+    indices. *)
+
+val iter_large : t -> (base:int -> pages:int -> unit) -> unit
+(** Visit every live large allocation. *)
+
+val tcache_count : t -> int -> int
+(** [tcache_count t cls] — entries cached for the size class. *)
+
+val tcache_items : t -> int -> int list
+(** The cached addresses themselves. *)
+
 val set_extent_hooks : t -> Extent.hooks -> unit
 val purge_tick : t -> unit
 val purge_all : t -> unit

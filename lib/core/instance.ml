@@ -25,6 +25,7 @@ type t = {
   log : Event_log.t;
   mutable sweep : sweep_state option;
   mutable last_decay_tick : int;
+  mutable post_sweep_hook : (unit -> unit) option;
 }
 
 let decay_tick_interval = 1_000_000
@@ -62,6 +63,7 @@ let create ?(config = Config.default) ?(threads = 1) machine =
       log = Event_log.create ();
       sweep = None;
       last_decay_tick = 0;
+      post_sweep_hook = None;
     }
   in
   (* Integrate with the allocator's extent life-cycle (Section 4.5):
@@ -208,7 +210,8 @@ let finish_sweep t state =
          released = t.stats.Stats.releases - released_before;
          failed = t.stats.Stats.failed_frees - failed_before;
        });
-  t.sweep <- None
+  t.sweep <- None;
+  match t.post_sweep_hook with None -> () | Some hook -> hook ()
 
 let start_sweep t =
   t.stats.Stats.sweeps <- t.stats.Stats.sweeps + 1;
@@ -447,6 +450,13 @@ let quarantine_entries t = Quarantine.entry_count t.quarantine
 let event_log t = t.log
 let shadow_resident_bytes t = Shadow.shadow_bytes t.shadow
 let sweep_in_progress t = t.sweep <> None
+let quarantine t = t.quarantine
+let shadow t = t.shadow
+
+let iter_unmapped_pages t f =
+  Hashtbl.iter (fun page_index () -> f (page_index * page)) t.unmapped_pages
+
+let set_post_sweep_hook t hook = t.post_sweep_hook <- Some hook
 end
 
 include Make (Alloc.Backends.Jemalloc_backend)

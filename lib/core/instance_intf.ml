@@ -64,4 +64,21 @@ module type S = sig
       accounting; the paper reports it below 1 % of the heap). *)
 
   val sweep_in_progress : t -> bool
+
+  (** {1 Audit support}
+
+      Read-only views for the sanitizer's cross-layer invariant audit
+      ({!Sanitizer.Invariants}); not part of the drop-in API. *)
+
+  val quarantine : t -> Quarantine.t
+  val shadow : t -> Shadow.t
+
+  val iter_unmapped_pages : t -> (int -> unit) -> unit
+  (** Visit the base address of every page whose backing was released
+      while its allocation sits in quarantine (Section 4.2). *)
+
+  val set_post_sweep_hook : t -> (unit -> unit) -> unit
+  (** [set_post_sweep_hook t f] runs [f] after every completed sweep
+      (release phase included) — the debug-mode hook the sanitizer uses
+      to audit the stack at its most delicate moment. *)
 end

@@ -84,6 +84,12 @@ let requeue_failed t e =
 
 let release t e = Hashtbl.remove t.dedup e.addr
 
+let iter_fresh t f = List.iter f t.fresh
+let iter_failed t f = List.iter f t.failed
+
+let iter_buffered t f =
+  Array.iter (fun buffered -> List.iter f buffered) t.buffers
+
 let fresh_mapped_bytes t = t.fresh_mapped
 let failed_bytes t = t.failed_total
 let unmapped_bytes t = t.unmapped

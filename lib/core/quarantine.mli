@@ -47,6 +47,17 @@ val requeue_failed : t -> entry -> unit
 val release : t -> entry -> unit
 (** Forget a locked-in entry whose memory was recycled. *)
 
+(** {1 Introspection for the sanitizer's cross-layer audit}
+
+    Visit the entries behind each aggregate counter so the audit can
+    recompute {!fresh_mapped_bytes} & co. independently. Read-only. *)
+
+val iter_fresh : t -> (entry -> unit) -> unit
+val iter_failed : t -> (entry -> unit) -> unit
+val iter_buffered : t -> (entry -> unit) -> unit
+(** Entries still sitting in thread-local buffers (not yet flushed, so
+    not yet part of the fresh accounting). *)
+
 val fresh_mapped_bytes : t -> int
 (** Trigger numerator: quarantined bytes that are neither failed nor
     unmapped. *)

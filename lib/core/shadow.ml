@@ -50,6 +50,20 @@ let range_marked t ~addr ~len =
   let rec check p = p < addr + len && (is_marked t p || check (p + granule)) in
   check first
 
+let iter_marked t f =
+  Hashtbl.iter
+    (fun pg bitmap ->
+      Bytes.iteri
+        (fun byte c ->
+          let x = Char.code c in
+          if x <> 0 then
+            for bit = 0 to 7 do
+              if x land (1 lsl bit) <> 0 then
+                f ((pg * page_size) + (((byte * 8) + bit) * t.granule))
+            done)
+        bitmap)
+    t.pages
+
 let marked_granules t =
   Hashtbl.fold
     (fun _ bitmap acc ->

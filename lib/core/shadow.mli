@@ -37,6 +37,10 @@ val range_marked : t -> addr:int -> len:int -> bool
     cover the allocation's full usable size (which already includes the
     extra byte for past-the-end pointers). *)
 
+val iter_marked : t -> (int -> unit) -> unit
+(** Visit the start address of every marked granule (audit support;
+    order unspecified). *)
+
 val marked_granules : t -> int
 (** Total marks, for stats/tests. *)
 

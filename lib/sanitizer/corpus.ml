@@ -1,0 +1,46 @@
+module Trace = Workloads.Trace
+
+type case = {
+  name : string;
+  trace : Trace.t;
+  expected_rules : string list;
+}
+
+let case name expected_rules body =
+  {
+    name;
+    trace = Trace.of_string (Printf.sprintf "# msweep-trace v1 %s\n%s" name body);
+    expected_rules = List.sort_uniq compare expected_rules;
+  }
+
+let cases =
+  [
+    case "double-free" [ "double-free" ] "a 0 64\nx 0\nx 0\n";
+    case "free-unallocated" [ "free-unallocated" ] "x 42\n";
+    case "duplicate-alloc" [ "duplicate-alloc" ] "a 0 64\na 0 32\n";
+    (* id 0 is freed before the data store lands in it: the write is a
+       use-after-free the replay silently skips. *)
+    case "store-after-free" [ "store-after-free" ] "a 0 64\nx 0\nd f 0 0 5\n";
+    case "store-unallocated" [ "store-unallocated" ] "p f 9 0 0\n";
+    (* the store publishes id 1 after it died *)
+    case "dangling-target" [ "dangling-target" ] "a 0 64\na 1 64\nx 1\np r 0 1\n";
+    (* root[3] still points at id 0 when it is freed — the paper's
+       Section 3.2 precondition for a dangling pointer. *)
+    case "unclear-before-free" [ "unclear-before-free" ]
+      "a 0 64\np r 3 0\nx 0\n";
+    (* a 16-byte object has 2 words; word 99 wraps *)
+    case "field-out-of-range" [ "field-out-of-range" ] "a 0 16\nd f 0 99 7\n";
+    (* compound: a free-then-write-then-free chain raising three rules *)
+    case "uaf-chain"
+      [ "double-free"; "store-after-free"; "unclear-before-free" ]
+      "a 0 64\na 1 64\np f 1 0 0\nx 0\nd f 0 2 9\nx 0\nx 1\n";
+  ]
+
+let well_behaved ?(seeds = [ 1; 2 ]) ?(scale = 0.05) () =
+  List.concat_map
+    (fun profile ->
+      let profile =
+        if scale = 1.0 then profile else Workloads.Profile.scale_ops scale profile
+      in
+      List.map (fun seed -> Trace.generate ~seed profile) seeds)
+    Workloads.Mimalloc_bench.all

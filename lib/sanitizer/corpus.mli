@@ -1,0 +1,28 @@
+(** Seeded known-bad traces for exercising {!Trace_lint}.
+
+    Each case is a tiny hand-written trace (kept in the v1 text format,
+    so loading the corpus also exercises {!Workloads.Trace.of_string})
+    together with the exact set of rule ids the lint must raise on it —
+    no more, no fewer. The CLI's [check --corpus] self-test and the test
+    suite both replay this corpus.
+
+    {!well_behaved} provides the negative control: generated traces from
+    the mimalloc-bench profiles, whose generator never produces a
+    dangling pointer, double free, or out-of-range index — the lint must
+    stay silent on all of them. *)
+
+type case = {
+  name : string;
+  trace : Workloads.Trace.t;
+  expected_rules : string list;  (** sorted, duplicate-free *)
+}
+
+val cases : case list
+(** Every lint rule in {!Trace_lint.rules} is the expectation of at
+    least one case. *)
+
+val well_behaved :
+  ?seeds:int list -> ?scale:float -> unit -> Workloads.Trace.t list
+(** Stock mimalloc-bench traces (default seeds [[1; 2]], op counts
+    scaled by [scale], default [0.05]) on which the lint must produce
+    zero diagnostics. *)

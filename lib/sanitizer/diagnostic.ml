@@ -1,0 +1,40 @@
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  op_index : int;
+  message : string;
+}
+
+let make ~rule ~severity ?(op_index = -1) message =
+  { rule; severity; op_index; message }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  if d.op_index < 0 then
+    Printf.sprintf "%s [%s]: %s" (severity_to_string d.severity) d.rule d.message
+  else
+    Printf.sprintf "op %d: %s [%s]: %s" d.op_index
+      (severity_to_string d.severity)
+      d.rule d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let count_by_rule ds =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace tbl d.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.rule)))
+    ds;
+  Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let has_rule rule ds = List.exists (fun d -> d.rule = rule) ds

@@ -1,0 +1,31 @@
+(** Structured findings shared by the sanitizer's passes.
+
+    Every lint rule, invariant audit and oracle check reports through
+    this one shape so callers (CLI, tests, CI gate) can filter, count
+    and render findings uniformly. *)
+
+type severity =
+  | Error  (** the trace/stack is ill-formed — would be UB as a C program *)
+  | Warning  (** legal but suspicious — e.g. the paper's UAF precondition *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["double-free"] *)
+  severity : severity;
+  op_index : int;  (** 0-based index into the trace's op array; -1 when
+                       the finding is not tied to a trace position *)
+  message : string;
+}
+
+val make : rule:string -> severity:severity -> ?op_index:int -> string -> t
+
+val severity_to_string : severity -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val count_by_rule : t list -> (string * int) list
+(** Rule ids with their occurrence counts, sorted by rule id. *)
+
+val has_rule : string -> t list -> bool

@@ -1,0 +1,189 @@
+module Instance = Minesweeper.Instance
+module Registry = Ptrtrack.Registry
+module Trace = Workloads.Trace
+
+type report = {
+  trace_name : string;
+  ops : int;
+  allocs : int;
+  frees : int;
+  releases : int;
+  sweeps : int;
+  soundness : Diagnostic.t list;
+  precision : Diagnostic.t list;
+  audit : Diagnostic.t list;
+}
+
+let findings r = r.soundness @ r.precision @ r.audit
+
+(* One still-quarantined allocation under observation. *)
+type tracked = {
+  id : int;
+  mutable clean_sweeps : int;  (** consecutive completed sweeps with no
+                                   ground-truth pointer to it *)
+  mutable reported : bool;
+}
+
+let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
+    ?(audit = true) (trace : Trace.t) =
+  let machine = Alloc.Machine.create () in
+  let mem = machine.Alloc.Machine.mem in
+  List.iter
+    (fun (base, size) -> Vmem.map mem ~addr:base ~len:size)
+    Layout.root_regions;
+  let ms = Instance.create ~config ~threads:1 machine in
+  let je = Instance.jemalloc ms in
+  let registry = Registry.create je in
+  let stats = Instance.stats ms in
+  let audit_findings = ref [] in
+  if audit then
+    Invariants.attach ms (fun fs -> audit_findings := !audit_findings @ fs);
+  let addr_of = Hashtbl.create 4096 in
+  (* addr -> tracked, for every allocation currently in quarantine *)
+  let quarantined : (int, tracked) Hashtbl.t = Hashtbl.create 4096 in
+  let soundness = ref [] in
+  let precision = ref [] in
+  let allocs = ref 0 in
+  let frees = ref 0 in
+  let completed_sweeps () =
+    stats.Minesweeper.Stats.sweeps
+    - if Instance.sweep_in_progress ms then 1 else 0
+  in
+  let last_completed = ref 0 in
+  let resolve_loc = function
+    | Trace.Root w ->
+      Some (Layout.stack_base + (8 * (w mod Trace.root_window_words)))
+    | Trace.Field (id, w) -> (
+      match Hashtbl.find_opt addr_of id with
+      | Some (addr, size) when size >= 8 -> Some (addr + (8 * (w mod (size / 8))))
+      | Some _ | None -> None)
+  in
+  let writable slot =
+    Vmem.is_mapped mem slot
+    && Vmem.is_committed mem slot
+    && Vmem.protection mem slot = Vmem.Read_write
+  in
+  (* Every pointer-typed write flows through here: memory and ground
+     truth stay in lock-step. *)
+  let pointer_write slot value =
+    Vmem.store mem slot value;
+    Registry.record_write registry ~slot ~value
+  in
+  let poll op_index =
+    (* Release detection: quarantine membership dropped => the backend
+       recycled the entry during this op. *)
+    let released =
+      Hashtbl.fold
+        (fun addr tr acc ->
+          if Instance.is_quarantined ms addr then acc else (addr, tr) :: acc)
+        quarantined []
+    in
+    List.iter
+      (fun (addr, (tr : tracked)) ->
+        Hashtbl.remove quarantined addr;
+        let n = Registry.in_pointer_count registry ~base:addr in
+        if n > 0 then
+          soundness :=
+            Diagnostic.make ~rule:"oracle-unsound" ~severity:Diagnostic.Error
+              ~op_index
+              (Printf.sprintf
+                 "id %d (addr %#x) recycled while %d live pointer(s) to it \
+                  exist"
+                 tr.id addr n)
+            :: !soundness)
+      released;
+    let c = completed_sweeps () in
+    if c > !last_completed then begin
+      let delta = c - !last_completed in
+      last_completed := c;
+      Hashtbl.iter
+        (fun addr (tr : tracked) ->
+          if Registry.in_pointer_count registry ~base:addr = 0 then begin
+            tr.clean_sweeps <- tr.clean_sweeps + delta;
+            if tr.clean_sweeps >= latency_sweeps && not tr.reported then begin
+              tr.reported <- true;
+              precision :=
+                Diagnostic.make ~rule:"oracle-retention"
+                  ~severity:Diagnostic.Warning ~op_index
+                  (Printf.sprintf
+                     "id %d (addr %#x) still quarantined after %d consecutive \
+                      sweeps with no live pointers (conservative retention)"
+                     tr.id addr tr.clean_sweeps)
+                :: !precision
+            end
+          end
+          else tr.clean_sweeps <- 0)
+        quarantined
+    end
+  in
+  Array.iteri
+    (fun op_index op ->
+      (match op with
+      | Trace.Alloc { id; size } ->
+        let addr = Instance.malloc ms size in
+        incr allocs;
+        (* The backend zeroes fresh memory; any registry slots recorded
+           inside this range belong to a dead incarnation. *)
+        Registry.drop_slots_in registry ~base:addr
+          ~usable:(Alloc.Jemalloc.usable_size je addr)
+          (fun ~slot:_ ~target:_ -> ());
+        Hashtbl.replace addr_of id (addr, size);
+        Instance.tick ms
+      | Trace.Free { id } -> (
+        match Hashtbl.find_opt addr_of id with
+        | Some (addr, _) ->
+          Hashtbl.remove addr_of id;
+          incr frees;
+          (* Zeroing destroys pointers stored inside the freed object:
+             the ground truth must forget them too. *)
+          if config.Minesweeper.Config.zeroing then
+            Registry.drop_slots_in registry ~base:addr
+              ~usable:(Alloc.Jemalloc.usable_size je addr)
+              (fun ~slot:_ ~target:_ -> ());
+          Instance.free ms addr;
+          if Instance.is_quarantined ms addr then
+            Hashtbl.replace quarantined addr
+              { id; clean_sweeps = 0; reported = false }
+        | None -> ())
+      | Trace.Store_ptr { loc; target } -> (
+        match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
+        | Some slot, Some (taddr, _) when writable slot ->
+          pointer_write slot taddr
+        | _ -> ())
+      | Trace.Clear_ptr { loc; target } -> (
+        match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
+        | Some slot, Some (taddr, _) when writable slot ->
+          if Vmem.load mem slot = taddr then pointer_write slot 0
+        | _ -> ())
+      | Trace.Store_data { loc; value } -> (
+        match resolve_loc loc with
+        | Some slot when writable slot ->
+          let concrete =
+            if value >= 0 then value
+            else
+              match Hashtbl.find_opt addr_of (-value - 1) with
+              | Some (addr, _) -> addr
+              | None -> 0
+          in
+          Vmem.store mem slot concrete;
+          (* Not a pointer: overwrite any tracked pointer in the slot but
+             record nothing — this is exactly the coverage gap between
+             ground truth and the conservative sweep. *)
+          Registry.forget_slot registry ~slot
+        | _ -> ())
+      | Trace.Work cycles -> Alloc.Machine.charge machine cycles);
+      poll op_index)
+    trace.Trace.ops;
+  Instance.drain ms;
+  poll (Array.length trace.Trace.ops);
+  {
+    trace_name = trace.Trace.name;
+    ops = Array.length trace.Trace.ops;
+    allocs = !allocs;
+    frees = !frees;
+    releases = stats.Minesweeper.Stats.releases;
+    sweeps = completed_sweeps ();
+    soundness = List.rev !soundness;
+    precision = List.rev !precision;
+    audit = !audit_findings;
+  }

@@ -1,0 +1,50 @@
+(** Differential soundness/precision oracle for MineSweeper's sweep.
+
+    Replays a trace against a MineSweeper instance while maintaining, on
+    the side, the ground-truth pointer graph in a
+    {!Ptrtrack.Registry.t}: every pointer store and clear the replay
+    performs is recorded exactly (data stores are not — an integer that
+    merely aliases an address is {e not} a pointer, which is precisely
+    the information MineSweeper's conservative sweep lacks).
+
+    Against that ground truth the oracle checks the paper's Section 3.2
+    invariant from the outside:
+
+    - {b soundness} ([oracle-unsound], error): a quarantined allocation
+      was recycled by the backend while the registry still records a
+      live pointer to it. MineSweeper must never do this — the sweep is
+      conservative, so every real pointer is also a marked word.
+    - {b precision/latency} ([oracle-retention], warning): an allocation
+      stayed quarantined for [latency_sweeps] consecutive completed
+      sweeps although the registry records no pointer to it — memory
+      held hostage by unlucky integers or shadow-granule aliasing, the
+      conservatism cost the paper accepts but a regression here should
+      not grow silently.
+
+    With [audit] set, {!Invariants.audit} also runs after every
+    completed sweep and its findings are folded into the report. *)
+
+type report = {
+  trace_name : string;
+  ops : int;
+  allocs : int;
+  frees : int;
+  releases : int;  (** allocations the backend recycled *)
+  sweeps : int;  (** sweeps completed during the replay *)
+  soundness : Diagnostic.t list;
+  precision : Diagnostic.t list;
+  audit : Diagnostic.t list;
+}
+
+val run :
+  ?config:Minesweeper.Config.t ->
+  ?latency_sweeps:int ->
+  ?audit:bool ->
+  Workloads.Trace.t ->
+  report
+(** Replay under the given configuration (default
+    {!Minesweeper.Config.default}; [latency_sweeps] defaults to 3,
+    [audit] to [true]). *)
+
+val findings : report -> Diagnostic.t list
+(** All diagnostics of a report: soundness, then precision, then audit. *)

@@ -28,6 +28,11 @@ type t = {
   ops : op array;
 }
 
+val root_window_words : int
+(** Size of the root (stack/globals) window in words. {!replay} resolves
+    [Root w] as [w mod root_window_words]; the lint pass flags indices
+    that would wrap. *)
+
 val generate : ?seed:int -> Profile.t -> t
 (** Derive a concrete trace from a profile: allocations with sampled
     sizes, deaths on schedule, pointer publications and (mostly) clears

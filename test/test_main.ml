@@ -25,6 +25,7 @@ let () =
       Test_ptrtrack.suite;
       Test_workloads.suite;
       Test_trace.suite;
+      Test_sanitizer.suite;
       Test_attack.suite;
       Test_report.suite;
       Test_experiments.suite;

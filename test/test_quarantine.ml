@@ -98,6 +98,44 @@ let test_entry_count () =
   Alcotest.(check int) "counts buffered and global" 2
     (Minesweeper.Quarantine.entry_count q)
 
+let test_double_free_dedup_live () =
+  (* End to end through a live instance: the second free of a
+     quarantined pointer is absorbed (Section 3's idempotence), visible
+     from outside via the new quarantine accessor. *)
+  let machine = Alloc.Machine.create () in
+  let ms = Minesweeper.Instance.create machine in
+  let addr = Minesweeper.Instance.malloc ms 64 in
+  Minesweeper.Instance.free ms addr;
+  let q = Minesweeper.Instance.quarantine ms in
+  Alcotest.(check bool) "first free quarantines" true
+    (Minesweeper.Quarantine.contains q addr);
+  let entries = Minesweeper.Quarantine.entry_count q in
+  let usable =
+    match Minesweeper.Quarantine.find q addr with
+    | Some e -> e.Minesweeper.Quarantine.usable
+    | None -> Alcotest.fail "entry not findable after first free"
+  in
+  Minesweeper.Instance.free ms addr;
+  Minesweeper.Instance.free ms addr;
+  Alcotest.(check int) "double frees counted" 2
+    (Minesweeper.Instance.stats ms).Minesweeper.Stats.double_frees;
+  Alcotest.(check int) "no duplicate entries" entries
+    (Minesweeper.Quarantine.entry_count q);
+  Alcotest.(check bool) "still quarantined" true
+    (Minesweeper.Quarantine.contains q addr);
+  (match Minesweeper.Quarantine.find q addr with
+  | Some e ->
+    Alcotest.(check int) "entry untouched" usable
+      e.Minesweeper.Quarantine.usable
+  | None -> Alcotest.fail "entry lost by the double free");
+  (* A different pointer is unaffected by the dedup. *)
+  let other = Minesweeper.Instance.malloc ms 64 in
+  Minesweeper.Instance.free ms other;
+  Alcotest.(check int) "distinct free is not a double free" 2
+    (Minesweeper.Instance.stats ms).Minesweeper.Stats.double_frees;
+  Alcotest.(check bool) "distinct free quarantined" true
+    (Minesweeper.Quarantine.contains q other)
+
 let prop_accounting_consistent =
   QCheck.Test.make
     ~name:"total = fresh_mapped + failed + unmapped after any sequence"
@@ -146,6 +184,8 @@ let suite =
         test_requeue_failed_accounting;
       Alcotest.test_case "unmapped accounting" `Quick test_unmapped_accounting;
       Alcotest.test_case "entry count" `Quick test_entry_count;
+      Alcotest.test_case "double-free dedup on a live instance" `Quick
+        test_double_free_dedup_live;
       QCheck_alcotest.to_alcotest prop_accounting_consistent;
       QCheck_alcotest.to_alcotest prop_lock_in_preserves_entries;
     ] )

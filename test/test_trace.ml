@@ -40,6 +40,36 @@ let test_roundtrip () =
   Alcotest.(check string) "name preserved" "trace-test"
     parsed.Workloads.Trace.name
 
+let test_roundtrip_property () =
+  (* Round-trip must hold structurally (not just textually) across
+     generator profiles and seeds: every op survives serialisation. *)
+  let profiles =
+    tiny_profile
+    :: List.map
+         (Workloads.Profile.scale_ops 0.02)
+         (List.filteri (fun i _ -> i mod 4 = 0) Workloads.Mimalloc_bench.all)
+  in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun seed ->
+          let t = Workloads.Trace.generate ~seed profile in
+          let parsed =
+            Workloads.Trace.of_string (Workloads.Trace.to_string t)
+          in
+          let label =
+            Printf.sprintf "%s seed %d" profile.Workloads.Profile.name seed
+          in
+          Alcotest.(check string) (label ^ ": name") t.Workloads.Trace.name
+            parsed.Workloads.Trace.name;
+          Alcotest.(check bool) (label ^ ": ops identical") true
+            (t.Workloads.Trace.ops = parsed.Workloads.Trace.ops);
+          Alcotest.(check string) (label ^ ": text fixpoint")
+            (Workloads.Trace.to_string t)
+            (Workloads.Trace.to_string parsed))
+        [ 1; 7; 42 ])
+    profiles
+
 let test_parse_errors () =
   Alcotest.check_raises "bad op"
     (Failure "Trace.of_string: line 1: unrecognised op: zz 1 2") (fun () ->
@@ -47,6 +77,19 @@ let test_parse_errors () =
   Alcotest.check_raises "bad int"
     (Failure "Trace.of_string: line 1: size") (fun () ->
       ignore (Workloads.Trace.of_string "a 1 pancake"))
+
+let test_parse_error_line_numbers () =
+  (* The reported line number must point at the offending line, counting
+     the header and every earlier (valid) line. *)
+  Alcotest.check_raises "bad op mid-file"
+    (Failure "Trace.of_string: line 4: unrecognised op: zz 9") (fun () ->
+      ignore
+        (Workloads.Trace.of_string
+           "# msweep-trace v1 broken\na 0 64\nx 0\nzz 9\na 1 32\n"));
+  Alcotest.check_raises "truncated store"
+    (Failure "Trace.of_string: line 3: unrecognised op: p r") (fun () ->
+      ignore
+        (Workloads.Trace.of_string "# msweep-trace v1 broken\na 0 64\np r\n"))
 
 let test_file_roundtrip () =
   let t = Workloads.Trace.generate tiny_profile in
@@ -127,7 +170,11 @@ let suite =
       Alcotest.test_case "generate deterministic" `Quick
         test_generate_deterministic;
       Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "roundtrip across seeds and profiles" `Quick
+        test_roundtrip_property;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse error line numbers" `Quick
+        test_parse_error_line_numbers;
       Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
       Alcotest.test_case "replay all schemes" `Quick test_replay_all_schemes;
       Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
