@@ -36,6 +36,10 @@ let scheme_of_string = function
     Workloads.Harness.Mine_sweeper Minesweeper.Config.default
   | "mostly" ->
     Workloads.Harness.Mine_sweeper Minesweeper.Config.mostly_concurrent
+  | "incremental" | "ms-inc" ->
+    Workloads.Harness.Mine_sweeper Minesweeper.Config.incremental
+  | "incremental-mostly" ->
+    Workloads.Harness.Mine_sweeper Minesweeper.Config.incremental_mostly
   | "markus" -> Workloads.Harness.Mark_us
   | "ffmalloc" | "ff" -> Workloads.Harness.Ff_malloc
   | "dlmalloc" -> Workloads.Harness.Dl_baseline
@@ -80,7 +84,9 @@ let scheme_arg =
   Arg.(
     value & opt string "minesweeper"
     & info [ "s"; "scheme" ]
-        ~doc:"Scheme: baseline, minesweeper, mostly, markus, ffmalloc")
+        ~doc:
+          "Scheme: baseline, minesweeper, mostly, incremental, markus, \
+           ffmalloc")
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Trace length scale")
@@ -260,7 +266,9 @@ let check_cmd =
     Arg.(
       value & opt string "default"
       & info [ "config" ]
-          ~doc:"Oracle configuration: default, mostly, partial")
+          ~doc:
+            "Oracle configuration: default, mostly, incremental, \
+             incremental-mostly, partial")
   in
   let latency_arg =
     Arg.(
@@ -273,6 +281,8 @@ let check_cmd =
   let oracle_config = function
     | "default" -> Minesweeper.Config.default
     | "mostly" -> Minesweeper.Config.mostly_concurrent
+    | "incremental" -> Minesweeper.Config.incremental
+    | "incremental-mostly" -> Minesweeper.Config.incremental_mostly
     | "partial" -> Minesweeper.Config.partial_quarantine
     | s -> invalid_arg ("unknown oracle config " ^ s)
   in

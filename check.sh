@@ -46,4 +46,30 @@ echo "lint flags the dangling-rate workload (expected)"
   && { echo "FAIL: oracle reported unsoundness on the default config" >&2; exit 1; }
 echo "oracle certifies the default config sound on it"
 
+echo "== sweep-mode equivalence (full vs incremental)"
+# The dedicated equivalence suite: identical mark sets and decisions.
+_build/default/test/test_main.exe test minesweeper.sweep-equivalence \
+  >/dev/null
+echo "equivalence suite passed"
+
+# The oracle must certify the incremental configuration too: zero
+# unsound recycles, zero invariant findings (inv-summary included), on
+# both the clean and the dangling-rate workload.
+for trace in espresso perl; do
+  "$CLI" check -i "$workdir/$trace.trace" --oracle --config incremental \
+    --latency 100000 2>&1 \
+    | grep -q "oracle-unsound\|inv-" \
+    && { echo "FAIL: oracle flagged the incremental config on $trace" >&2; exit 1; }
+done
+echo "oracle certifies the incremental config sound"
+
+echo "== bench smoke: incremental sweeps fewer bytes than full"
+"$CLI" figures --only incremental-sweep --scale 0.02 >"$workdir/incfig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/incfig.txt"; then
+  grep "REGRESSION" "$workdir/incfig.txt" >&2
+  echo "FAIL: incremental mode did not sweep strictly fewer bytes" >&2
+  exit 1
+fi
+echo "incremental swept strictly fewer bytes on every sweeping profile"
+
 echo "== all checks passed"

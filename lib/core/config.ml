@@ -2,6 +2,10 @@ type concurrency =
   | Sequential
   | Concurrent of { helpers : int; stop_the_world : bool }
 
+type sweep_mode =
+  | Full_scan
+  | Incremental
+
 type t = {
   quarantining : bool;
   zeroing : bool;
@@ -10,6 +14,7 @@ type t = {
   keep_failed : bool;
   purging : bool;
   concurrency : concurrency;
+  sweep_mode : sweep_mode;
   threshold : float;
   threshold_min_bytes : int;
   unmap_factor : float;
@@ -26,6 +31,7 @@ let default = {
   keep_failed = true;
   purging = true;
   concurrency = Concurrent { helpers = 6; stop_the_world = false };
+  sweep_mode = Full_scan;
   threshold = 0.15;
   threshold_min_bytes = 128 * 1024;
   unmap_factor = 9.0;
@@ -36,6 +42,11 @@ let default = {
 
 let mostly_concurrent =
   { default with concurrency = Concurrent { helpers = 6; stop_the_world = true } }
+
+let incremental = { default with sweep_mode = Incremental }
+
+let incremental_mostly =
+  { mostly_concurrent with sweep_mode = Incremental }
 
 (* Cumulative optimisation levels, in the paper's order of estimated
    importance (Section 5.4). *)
@@ -106,8 +117,11 @@ let pp ppf t =
       Printf.sprintf "concurrent(helpers=%d%s)" helpers
         (if stop_the_world then ", stw" else "")
   in
+  let mode =
+    match t.sweep_mode with Full_scan -> "full" | Incremental -> "incremental"
+  in
   Format.fprintf ppf
-    "{quarantine=%b zero=%b unmap=%b sweep=%b keep_failed=%b purge=%b %s \
+    "{quarantine=%b zero=%b unmap=%b sweep=%b(%s) keep_failed=%b purge=%b %s \
      threshold=%.2f}"
-    t.quarantining t.zeroing t.unmapping t.sweeping t.keep_failed t.purging
-    concurrency t.threshold
+    t.quarantining t.zeroing t.unmapping t.sweeping mode t.keep_failed
+    t.purging concurrency t.threshold

@@ -13,6 +13,16 @@ type concurrency =
       (** dedicated sweeper thread plus [helpers] helper threads;
           [stop_the_world] adds the mostly-concurrent dirty-page re-scan *)
 
+type sweep_mode =
+  | Full_scan
+      (** every sweep rescans all readable program memory (the paper's
+          baseline marking phase, Section 4.4) *)
+  | Incremental
+      (** keep soft-dirty-style write tracking live between sweeps and
+          cache a per-page pointer summary: only pages written since the
+          previous sweep are rescanned, clean pages replay their cached
+          summary into the shadow map *)
+
 type t = {
   quarantining : bool;
       (** [false]: frees forward straight to the allocator (partial
@@ -29,6 +39,10 @@ type t = {
           found (partial version 5) *)
   purging : bool;  (** full allocator purge after each sweep (Section 4.5) *)
   concurrency : concurrency;
+  sweep_mode : sweep_mode;
+      (** how the marking phase covers memory; {!Incremental} trades a
+          summary cache (invalidated on store/zero/decommit/protect) for
+          strictly fewer bytes swept per marking phase *)
   threshold : float;
       (** sweep when pending quarantine exceeds this fraction of the
           heap (paper default 15 %) *)
@@ -52,6 +66,16 @@ val default : t
 
 val mostly_concurrent : t
 (** Same but with the brief stop-the-world re-scan (Section 5.3). *)
+
+val incremental : t
+(** {!default} with [sweep_mode = Incremental]: marking rescans only
+    pages dirtied since the previous sweep and replays cached per-page
+    pointer summaries for the rest. Protection guarantees are identical —
+    the rebuilt shadow equals a from-scratch full mark (audited by
+    [Sanitizer.Invariants]). *)
+
+val incremental_mostly : t
+(** {!mostly_concurrent} with the incremental marking phase. *)
 
 (** {1 Cumulative optimisation levels (Figures 15/16)} *)
 

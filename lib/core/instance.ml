@@ -14,6 +14,18 @@ type sweep_state = {
   started : int;
 }
 
+(* Incremental sweeping (Config.Incremental): what the last scan of a
+   page found. [targets] holds every word of the page that lay in the
+   heap address range [heap_base, heap_limit) at capture time, deduped
+   and sorted; the wilderness filter is applied at replay time because
+   the wilderness moves between sweeps. [gen] is the vmem scan
+   generation current when the summary was captured: the summary is
+   coherent iff the page's write generation is still below it. *)
+type page_summary = {
+  gen : int;
+  targets : int array;
+}
+
 type t = {
   machine : Alloc.Machine.t;
   je : B.t;
@@ -23,6 +35,7 @@ type t = {
   stats : Stats.t;
   unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
   log : Event_log.t;
+  mutable summaries : (int, page_summary) Hashtbl.t; (* page index *)
   mutable sweep : sweep_state option;
   mutable last_decay_tick : int;
   mutable post_sweep_hook : (unit -> unit) option;
@@ -61,6 +74,7 @@ let create ?(config = Config.default) ?(threads = 1) machine =
       stats = Stats.create ();
       unmapped_pages = Hashtbl.create 1024;
       log = Event_log.create ();
+      summaries = Hashtbl.create 1024;
       sweep = None;
       last_decay_tick = 0;
       post_sweep_hook = None;
@@ -113,6 +127,91 @@ let mark_all_memory t =
       swept := !swept + page);
   t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + !swept;
   !swept
+
+(* All words of a page that lie in the heap *address range*, deduped and
+   sorted. The wilderness is deliberately not consulted here: it grows
+   between sweeps, so a summary filtered by today's wilderness would miss
+   pointers into tomorrow's heap. Filtering happens at mark time. *)
+let summarize_page bytes =
+  let acc = ref [] in
+  let words = page / word in
+  for k = words - 1 downto 0 do
+    let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
+    if w >= Layout.heap_base && w < Layout.heap_limit then acc := w :: !acc
+  done;
+  match !acc with
+  | [] -> [||]
+  | l -> Array.of_list (List.sort_uniq compare l)
+
+(* Incremental marking phase: rescan only pages written (or zeroed,
+   decommitted, protected, remapped) since their summary was captured;
+   replay the cached summary for the rest. The summary table is rebuilt
+   from scratch each sweep so entries for unmapped pages fall away.
+   Returns [(rescanned_bytes, replayed_targets)] for the cost model. *)
+let mark_incremental t =
+  Shadow.clear t.shadow;
+  let m = mem t in
+  let gen = Vmem.advance_generation m in
+  let wilderness = B.wilderness t.je in
+  let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
+  let rescanned = ref 0 and replayed = ref 0 in
+  let skipped_pages = ref 0 and rescanned_pages = ref 0 in
+  Vmem.iter_readable_pages_gen m (fun base bytes ~write_gen ->
+      let index = base / page in
+      match Hashtbl.find_opt t.summaries index with
+      | Some s when write_gen < s.gen ->
+        (* Untouched since capture: the cached targets are exactly what a
+           rescan would find. *)
+        Array.iter
+          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+          s.targets;
+        replayed := !replayed + Array.length s.targets;
+        incr skipped_pages;
+        Hashtbl.replace fresh index { gen; targets = s.targets }
+      | Some _ | None ->
+        let targets = summarize_page bytes in
+        Array.iter
+          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+          targets;
+        rescanned := !rescanned + page;
+        incr rescanned_pages;
+        Hashtbl.replace fresh index { gen; targets });
+  t.summaries <- fresh;
+  t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + !rescanned;
+  t.stats.Stats.sweep_pages_skipped <-
+    t.stats.Stats.sweep_pages_skipped + !skipped_pages;
+  t.stats.Stats.sweep_pages_rescanned <-
+    t.stats.Stats.sweep_pages_rescanned + !rescanned_pages;
+  t.stats.Stats.summary_cache_bytes <-
+    Hashtbl.fold
+      (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
+      fresh 0;
+  (!rescanned, !replayed)
+
+(* Audit-only reference marks: build the mark set each strategy would
+   produce right now into a scratch shadow, charging no simulated cost
+   and mutating no instance state (no generation advance, no summary
+   swap). [Sanitizer.Invariants] compares the two for equality. *)
+let reference_full_mark t =
+  let shadow = Shadow.create ~granule:t.config.Config.shadow_granule () in
+  let wilderness = B.wilderness t.je in
+  Vmem.iter_readable_pages (mem t) (fun _base bytes ->
+      let words = page / word in
+      for k = 0 to words - 1 do
+        let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
+        if w >= Layout.heap_base && w < wilderness then Shadow.mark shadow w
+      done);
+  shadow
+
+let reference_incremental_mark t =
+  let shadow = Shadow.create ~granule:t.config.Config.shadow_granule () in
+  let wilderness = B.wilderness t.je in
+  let mark v = if v < wilderness then Shadow.mark shadow v in
+  Vmem.iter_readable_pages_gen (mem t) (fun base bytes ~write_gen ->
+      match Hashtbl.find_opt t.summaries (base / page) with
+      | Some s when write_gen < s.gen -> Array.iter mark s.targets
+      | Some _ | None -> Array.iter mark (summarize_page bytes));
+  shadow
 
 let mark_dirty_pages t =
   let swept = ref 0 in
@@ -188,6 +287,11 @@ let finish_sweep t state =
       Alloc.Machine.with_sink t.machine Alloc.Machine.Background (fun () ->
           mark_dirty_pages t)
     in
+    (* The re-scan is real marking work: account it with the rest of the
+       swept bytes, and separately so pause work stays visible. *)
+    t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + dirty_bytes;
+    t.stats.Stats.stw_rescanned_bytes <-
+      t.stats.Stats.stw_rescanned_bytes + dirty_bytes;
     let scan_cycles = Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte dirty_bytes in
     let pause =
       c.Sim.Cost.stw_signal + (scan_cycles / (helpers_of t + 1))
@@ -226,11 +330,24 @@ let start_sweep t =
   let c = cost t in
   let sink = sweep_sink t in
   let busy = ref 0 in
+  (* Bytes the marking phase actually moved through memory; also the
+     basis for the DRAM-bandwidth wall-clock floor below. Incremental
+     mode reads rescanned pages plus the cached summaries it replays,
+     not the whole readable footprint. *)
+  let scanned_bytes = ref 0 in
   if t.config.Config.sweeping then begin
-    let swept =
-      Alloc.Machine.with_sink t.machine sink (fun () -> mark_all_memory t)
-    in
-    busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte swept
+    (match t.config.Config.sweep_mode with
+    | Config.Full_scan ->
+      let swept =
+        Alloc.Machine.with_sink t.machine sink (fun () -> mark_all_memory t)
+      in
+      scanned_bytes := swept
+    | Config.Incremental ->
+      let rescanned, replayed =
+        Alloc.Machine.with_sink t.machine sink (fun () -> mark_incremental t)
+      in
+      scanned_bytes := rescanned + (replayed * word));
+    busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte !scanned_bytes
   end;
   (* The release phase charges itself per entry in [release_all]; the
      wall-clock duration below accounts for it via the same estimate. *)
@@ -244,8 +361,7 @@ let start_sweep t =
     let parallel = (!busy + release_estimate) / (helpers + 1) in
     let floor_cycles =
       if t.config.Config.sweeping then
-        Sim.Cost.bytes_cost bandwidth_cycles_per_byte
-          (Vmem.readable_bytes (mem t))
+        Sim.Cost.bytes_cost bandwidth_cycles_per_byte !scanned_bytes
       else 0
     in
     let duration = max parallel floor_cycles in
@@ -409,8 +525,13 @@ let free t ?(thread = 0) addr =
 
 let calloc t count size =
   assert (count >= 0 && size >= 0);
-  (* The backend already serves zeroed memory. *)
-  malloc t (count * size)
+  (* Reject requests whose total size overflows, like a real allocator:
+     returning a short block for [count * size] bytes would hand the
+     program silently truncated memory. *)
+  if size <> 0 && count > max_int / size then 0
+  else
+    (* The backend already serves zeroed memory. *)
+    malloc t (count * size)
 
 let realloc t ?(thread = 0) addr size =
   if addr = 0 then malloc t size
@@ -430,6 +551,17 @@ let realloc t ?(thread = 0) addr size =
       end
     in
     copy_words 0;
+    (* Partial trailing word: usable sizes are word-multiples on both
+       sides, so a masked word-granularity read-modify-write stays inside
+       both blocks while copying only the surviving tail bytes. *)
+    let full = copy - (copy mod word) in
+    let tail = copy - full in
+    if tail > 0 then begin
+      let mask = (1 lsl (8 * tail)) - 1 in
+      let old_w = Vmem.load m (addr + full) in
+      let cur = Vmem.load m (fresh + full) in
+      Vmem.store m (fresh + full) ((old_w land mask) lor (cur land (lnot mask)))
+    end;
     Alloc.Machine.charge_bytes t.machine (cost t).Sim.Cost.touch_per_byte copy;
     free t ~thread addr;
     fresh

@@ -73,6 +73,18 @@ module type S = sig
   val quarantine : t -> Quarantine.t
   val shadow : t -> Shadow.t
 
+  val reference_full_mark : t -> Shadow.t
+  (** A from-scratch full mark of all readable memory into a scratch
+      shadow map: no simulated cost is charged and no instance state is
+      touched. The ground truth the incremental strategy must match. *)
+
+  val reference_incremental_mark : t -> Shadow.t
+  (** The mark set the incremental strategy would produce right now —
+      cached summaries replayed for clean pages, dirty pages rescanned —
+      into a scratch shadow map, without advancing the scan generation or
+      replacing the summary cache. [Sanitizer.Invariants] checks it
+      equals {!reference_full_mark}. *)
+
   val iter_unmapped_pages : t -> (int -> unit) -> unit
   (** Visit the base address of every page whose backing was released
       while its allocation sits in quarantine (Section 4.2). *)

@@ -3,6 +3,10 @@ type t = {
   mutable double_frees : int;
   mutable sweeps : int;
   mutable swept_bytes : int;
+  mutable stw_rescanned_bytes : int;
+  mutable sweep_pages_skipped : int;
+  mutable sweep_pages_rescanned : int;
+  mutable summary_cache_bytes : int;
   mutable releases : int;
   mutable released_bytes : int;
   mutable failed_frees : int;
@@ -22,6 +26,10 @@ let create () =
     double_frees = 0;
     sweeps = 0;
     swept_bytes = 0;
+    stw_rescanned_bytes = 0;
+    sweep_pages_skipped = 0;
+    sweep_pages_rescanned = 0;
+    summary_cache_bytes = 0;
     releases = 0;
     released_bytes = 0;
     failed_frees = 0;
@@ -37,8 +45,10 @@ let create () =
 
 let pp ppf t =
   Format.fprintf ppf
-    "frees=%d double_frees=%d sweeps=%d swept=%dB releases=%d failed=%d \
-     unmapped=%d stw=%d pauses=%d peak_quarantine=%dB"
-    t.frees_intercepted t.double_frees t.sweeps t.swept_bytes t.releases
-    t.failed_frees t.unmapped_allocations t.stw_pauses t.alloc_pauses
-    t.peak_quarantine_bytes
+    "frees=%d double_frees=%d sweeps=%d swept=%dB stw_rescanned=%dB \
+     pages_skipped=%d pages_rescanned=%d summary_cache=%dB releases=%d \
+     failed=%d unmapped=%d stw=%d pauses=%d peak_quarantine=%dB"
+    t.frees_intercepted t.double_frees t.sweeps t.swept_bytes
+    t.stw_rescanned_bytes t.sweep_pages_skipped t.sweep_pages_rescanned
+    t.summary_cache_bytes t.releases t.failed_frees t.unmapped_allocations
+    t.stw_pauses t.alloc_pauses t.peak_quarantine_bytes

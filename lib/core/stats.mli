@@ -4,7 +4,24 @@ type t = {
   mutable frees_intercepted : int;
   mutable double_frees : int;
   mutable sweeps : int;
-  mutable swept_bytes : int;  (** memory scanned across all marking phases *)
+  mutable swept_bytes : int;
+      (** memory actually scanned across all marking phases, the
+          stop-the-world dirty re-scans included; under the incremental
+          sweep mode, clean pages served from the summary cache do not
+          count *)
+  mutable stw_rescanned_bytes : int;
+      (** the share of {!swept_bytes} scanned inside stop-the-world
+          dirty-page re-scans (mostly concurrent mode), kept separate so
+          pause work stays distinguishable from background marking *)
+  mutable sweep_pages_skipped : int;
+      (** incremental mode: clean pages whose cached pointer summary was
+          replayed instead of rescanned *)
+  mutable sweep_pages_rescanned : int;
+      (** incremental mode: pages rescanned because they were written
+          (or decommitted/protected/remapped) since the previous sweep *)
+  mutable summary_cache_bytes : int;
+      (** current footprint of the per-page pointer-summary cache
+          (gauge, refreshed after every incremental marking phase) *)
   mutable releases : int;  (** allocations recycled after a clean sweep *)
   mutable released_bytes : int;
   mutable failed_frees : int;  (** release attempts blocked by a mark *)

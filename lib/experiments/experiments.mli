@@ -16,10 +16,11 @@ val make_env : ?scale:float -> ?verbose:bool -> unit -> env
 
 val scheme_keys : string list
 (** All scheme keys usable with {!run}: ["baseline"], ["minesweeper"],
-    ["minesweeper-mostly"], ["markus"], ["ffmalloc"], the optimisation
-    levels ["ms-unopt"], ["ms-zero"], ["ms-unmap"], ["ms-conc"], and the
-    partial versions ["ms-partial-base"], ["ms-partial-uz"],
-    ["ms-partial-q"], ["ms-partial-c"], ["ms-partial-s"]. *)
+    ["minesweeper-mostly"], ["minesweeper-incremental"], ["markus"],
+    ["ffmalloc"], the optimisation levels ["ms-unopt"], ["ms-zero"],
+    ["ms-unmap"], ["ms-conc"], and the partial versions
+    ["ms-partial-base"], ["ms-partial-uz"], ["ms-partial-q"],
+    ["ms-partial-c"], ["ms-partial-s"]. *)
 
 val run : env -> suite:string -> bench:string -> scheme:string ->
   Workloads.Driver.result
@@ -86,6 +87,14 @@ val ablation_granule : env -> string
 
 val ablation_helpers : env -> string
 (** Extension: sensitivity to the number of sweeper helper threads. *)
+
+val incremental_sweep : env -> string
+(** Extension: full-scan vs incremental marking phase on the most
+    sweep-heavy SPEC CPU2006 and mimalloc-bench profiles — slowdown,
+    bytes swept per mode, pages skipped vs rescanned and the summary
+    cache footprint. Prints a REGRESSION marker (grepped by check.sh) if
+    incremental mode fails to sweep strictly fewer bytes than full
+    mode. *)
 
 val all_figures : (string * (env -> string)) list
 (** In paper order; keys are ["fig1"], ["fig2"], ["fig7"] ... ["fig19"],

@@ -266,6 +266,42 @@ let check_shadow ms je shadow out =
          !count)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-sweep summary cache vs a from-scratch full mark.         *)
+
+let check_summary ms out =
+  let config = Instance.config ms in
+  match config.Minesweeper.Config.sweep_mode with
+  | Minesweeper.Config.Full_scan -> ()
+  | Minesweeper.Config.Incremental ->
+    (* The whole point of the summary cache is that replaying it is
+       indistinguishable from rescanning: the mark set the incremental
+       strategy would build right now must equal the ground-truth full
+       mark, granule for granule. Any divergence means an invalidation
+       rule (store/zero/decommit/protect/remap) was missed. *)
+    let full = Instance.reference_full_mark ms in
+    let inc = Instance.reference_incremental_mark ms in
+    Shadow.iter_marked full (fun addr ->
+        if not (Shadow.is_marked inc addr) then
+          out
+            (finding ~rule:"inv-summary"
+               "full mark at %#x missing from the incremental rebuild (stale \
+                summary hides a dangling pointer)"
+               addr));
+    Shadow.iter_marked inc (fun addr ->
+        if not (Shadow.is_marked full addr) then
+          out
+            (finding ~rule:"inv-summary"
+               "incremental mark at %#x absent from the full mark (summary \
+                replays a dead pointer)"
+               addr));
+    if Shadow.marked_granules full <> Shadow.marked_granules inc then
+      out
+        (finding ~rule:"inv-summary"
+           "mark counts diverge: full %d vs incremental %d"
+           (Shadow.marked_granules full)
+           (Shadow.marked_granules inc))
+
+(* ------------------------------------------------------------------ *)
 
 let audit ms =
   let je = Instance.jemalloc ms in
@@ -281,6 +317,7 @@ let audit ms =
   check_quarantine ms je q out;
   check_unmapped ms mem q out;
   check_shadow ms je shadow out;
+  check_summary ms out;
   List.rev !findings
 
 let attach ms f =

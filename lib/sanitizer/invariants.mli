@@ -26,7 +26,14 @@
       total matches the quarantine's unmapped byte count.
     - [inv-shadow]: every shadow mark lies in the heap below the
       wilderness, the granule matches the configuration, and the mark
-      count agrees with a recount. *)
+      count agrees with a recount.
+    - [inv-summary] (incremental sweep mode only): the mark set an
+      incremental rebuild would produce right now — cached per-page
+      pointer summaries replayed for clean pages, dirty pages rescanned —
+      equals a from-scratch full mark of all readable memory, granule for
+      granule. A miss in either direction means a summary-invalidation
+      rule (store, zero, decommit, protection change, remap) was
+      violated. *)
 
 val audit : Minesweeper.Instance.t -> Diagnostic.t list
 (** Run every check; empty list = all invariants hold. *)

@@ -17,12 +17,14 @@ type page = {
   mutable data : Bytes.t option; (* None while decommitted *)
   mutable prot : prot;
   mutable soft_dirty : bool;
+  mutable write_gen : int; (* scan generation of the last content change *)
 }
 
 type t = {
   pages : (int, page) Hashtbl.t; (* keyed by page index *)
   mutable committed : int; (* resident bytes *)
   mutable demand_commit_hook : pages:int -> unit;
+  mutable generation : int; (* current scan generation (see mli) *)
 }
 
 let create () =
@@ -30,7 +32,14 @@ let create () =
     pages = Hashtbl.create 4096;
     committed = 0;
     demand_commit_hook = (fun ~pages:_ -> ());
+    generation = 0;
   }
+
+let generation t = t.generation
+
+let advance_generation t =
+  t.generation <- t.generation + 1;
+  t.generation
 
 let set_demand_commit_hook t f = t.demand_commit_hook <- f
 
@@ -56,7 +65,8 @@ let map t ~addr ~len =
       Hashtbl.replace t.pages i
         { data = Some (Bytes.make page_size '\000');
           prot = Read_write;
-          soft_dirty = false };
+          soft_dirty = false;
+          write_gen = t.generation };
       t.committed <- t.committed + page_size)
 
 let unmap t ~addr ~len =
@@ -83,12 +93,14 @@ let decommit t ~addr ~len =
       in
       if p.data <> None then begin
         p.data <- None;
+        p.write_gen <- t.generation;
         t.committed <- t.committed - page_size
       end)
 
 let commit_page t p =
   if p.data = None then begin
     p.data <- Some (Bytes.make page_size '\000');
+    p.write_gen <- t.generation;
     t.committed <- t.committed + page_size
   end
 
@@ -104,7 +116,11 @@ let protect t ~addr ~len prot =
   iter_page_indices ~addr ~len (fun i ->
       match Hashtbl.find_opt t.pages i with
       | None -> raise (Fault (Unmapped_access, i * page_size))
-      | Some p -> p.prot <- prot)
+      | Some p ->
+        (* Conservative: visibility changes invalidate cached page
+           summaries even though the bytes themselves are untouched. *)
+        if p.prot <> prot then p.write_gen <- t.generation;
+        p.prot <- prot)
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
 
@@ -153,7 +169,8 @@ let store t addr w =
   assert (addr mod word_size = 0);
   let p = writable_page t addr in
   Bytes.set_int64_le (page_bytes p) (addr mod page_size) (Int64.of_int w);
-  p.soft_dirty <- true
+  p.soft_dirty <- true;
+  p.write_gen <- t.generation
 
 let zero_range t ~addr ~len =
   if len > 0 then begin
@@ -165,6 +182,7 @@ let zero_range t ~addr ~len =
       let n = min (page_size - off) (finish - !pos) in
       Bytes.fill (page_bytes p) off n '\000';
       p.soft_dirty <- true;
+      p.write_gen <- t.generation;
       pos := !pos + n
     done
   end
@@ -207,6 +225,17 @@ let iter_readable_pages t f =
       | { data = None; _ } | { prot = No_access; _ } -> ())
     t.pages
 
+let iter_readable_pages_gen t f =
+  Hashtbl.iter
+    (fun i p ->
+      match p with
+      | { data = Some bytes; prot = Read_only | Read_write; write_gen; _ } ->
+        f (i * page_size) bytes ~write_gen
+      | { data = None; _ } | { prot = No_access; _ } -> ())
+    t.pages
+
+let write_generation t addr = (find_page t addr).write_gen
+
 let readable_bytes t =
   Hashtbl.fold
     (fun _ p acc ->
@@ -221,5 +250,15 @@ let clear_soft_dirty t =
 let soft_dirty_pages t =
   Hashtbl.fold (fun _ p acc -> if p.soft_dirty then acc + 1 else acc) t.pages 0
 
+(* Pages that were dirtied and then decommitted or protected [No_access]
+   carry nothing a re-scan could read: visiting them would inflate the
+   simulated pause with bytes no sweep ever touches. *)
 let iter_soft_dirty_pages t f =
-  Hashtbl.iter (fun i p -> if p.soft_dirty then f (i * page_size)) t.pages
+  Hashtbl.iter
+    (fun i p ->
+      match p with
+      | { soft_dirty = true; data = Some _; prot = Read_only | Read_write; _ }
+        ->
+        f (i * page_size)
+      | _ -> ())
+    t.pages

@@ -98,13 +98,47 @@ val iter_readable_pages : t -> (int -> Bytes.t -> unit) -> unit
     program memory": decommitted and [No_access] (unmapped-in-quarantine)
     pages are excluded. Iteration order is unspecified. *)
 
+(** {1 Scan generations}
+
+    Support for incremental sweeping: the address space carries a
+    monotonically increasing {e scan generation}, and every page records
+    the generation of its last content change ([store], [zero_range],
+    decommit, (re-)commit, demand-commit, protection change, or fresh
+    mapping). A per-page summary captured while generation [g] was
+    current is still coherent at a later sweep iff the page's
+    [write_gen < g]: nothing has touched the page at or after the
+    capture. Generations never reset, so soft-dirty clearing (used by the
+    stop-the-world re-scan) and summary validity are independent. *)
+
+val generation : t -> int
+(** The current scan generation. *)
+
+val advance_generation : t -> int
+(** Start a new scan generation (the beginning of an incremental sweep's
+    marking phase) and return it. *)
+
+val write_generation : t -> int -> int
+(** [write_generation t addr] — generation of the page's last content
+    change. The page must be mapped. *)
+
+val iter_readable_pages_gen :
+  t -> (int -> Bytes.t -> write_gen:int -> unit) -> unit
+(** {!iter_readable_pages}, additionally passing each page's last-write
+    generation so callers can decide between a cached summary and a
+    rescan. *)
+
 val readable_bytes : t -> int
 (** Total bytes {!iter_readable_pages} would visit. *)
 
 val clear_soft_dirty : t -> unit
 
 val soft_dirty_pages : t -> int
-(** Number of pages written since the last {!clear_soft_dirty}. *)
+(** Number of pages written since the last {!clear_soft_dirty}
+    (readable or not — the raw kernel-style counter). *)
 
 val iter_soft_dirty_pages : t -> (int -> unit) -> unit
-(** Iterate the start addresses of soft-dirty pages. *)
+(** Iterate the start addresses of soft-dirty pages that are still
+    committed and readable. Pages dirtied and then decommitted or
+    protected [No_access] (e.g. unmapped-in-quarantine allocations) are
+    skipped: a re-scan has nothing to read there, so counting them would
+    overstate the stop-the-world pause. *)

@@ -23,6 +23,10 @@ let scheme_name = function
     if config = Minesweeper.Config.default then "minesweeper"
     else if config = Minesweeper.Config.mostly_concurrent then
       "minesweeper-mostly"
+    else if config = Minesweeper.Config.incremental then
+      "minesweeper-incremental"
+    else if config = Minesweeper.Config.incremental_mostly then
+      "minesweeper-incremental-mostly"
     else "minesweeper-variant"
   | Mark_us -> "markus"
   | Ff_malloc -> "ffmalloc"
@@ -113,9 +117,11 @@ let build scheme ~threads machine =
           Alloc.Jemalloc.live_bytes (Minesweeper.Instance.jemalloc ms));
       metadata_bytes =
         (fun () ->
-          (* shadow map + out-of-line quarantine bookkeeping *)
+          (* shadow map + out-of-line quarantine bookkeeping + the
+             incremental mode's per-page pointer-summary cache *)
           Minesweeper.Instance.shadow_resident_bytes ms
-          + (quarantine_entry_overhead * Minesweeper.Instance.quarantine_entries ms));
+          + (quarantine_entry_overhead * Minesweeper.Instance.quarantine_entries ms)
+          + stats.Minesweeper.Stats.summary_cache_bytes);
       cold_penalty = cold_penalty_fn machine factor;
       is_protected_addr = (fun addr -> Minesweeper.Instance.is_quarantined ms addr);
       tolerates_double_free = config.Minesweeper.Config.quarantining;
@@ -129,6 +135,15 @@ let build scheme ~threads machine =
             ("stw_pauses", float_of_int stats.Minesweeper.Stats.stw_pauses);
             ("alloc_pauses", float_of_int stats.Minesweeper.Stats.alloc_pauses);
             ("unmapped", float_of_int stats.Minesweeper.Stats.unmapped_allocations);
+            ("swept_bytes", float_of_int stats.Minesweeper.Stats.swept_bytes);
+            ("stw_rescanned_bytes",
+             float_of_int stats.Minesweeper.Stats.stw_rescanned_bytes);
+            ("pages_skipped",
+             float_of_int stats.Minesweeper.Stats.sweep_pages_skipped);
+            ("pages_rescanned",
+             float_of_int stats.Minesweeper.Stats.sweep_pages_rescanned);
+            ("summary_cache_bytes",
+             float_of_int stats.Minesweeper.Stats.summary_cache_bytes);
           ]);
     }
   | Mark_us ->

@@ -326,6 +326,19 @@ let test_mostly_concurrent_pauses () =
   Alcotest.(check int) "one pause per sweep" stats.Minesweeper.Stats.sweeps
     stats.Minesweeper.Stats.stw_pauses
 
+let test_stw_rescan_bytes_accounted () =
+  (* Regression: the stop-the-world dirty re-scan did real marking work
+     but never showed up in swept_bytes. *)
+  let machine, ms = fresh ~config:C.mostly_concurrent () in
+  ignore machine;
+  churn ms 30_000 128;
+  let stats = I.stats ms in
+  Alcotest.(check bool) "dirty re-scan work recorded" true
+    (stats.Minesweeper.Stats.stw_rescanned_bytes > 0);
+  Alcotest.(check bool) "re-scan counted inside swept_bytes" true
+    (stats.Minesweeper.Stats.swept_bytes
+    >= stats.Minesweeper.Stats.stw_rescanned_bytes)
+
 let test_partial_no_quarantine_reuses () =
   let _, ms = fresh ~config:C.partial_base () in
   let p = I.malloc ms 64 in
@@ -433,6 +446,8 @@ let suite =
         test_modes_equal_protection;
       Alcotest.test_case "mostly concurrent pauses" `Quick
         test_mostly_concurrent_pauses;
+      Alcotest.test_case "stw re-scan bytes accounted" `Quick
+        test_stw_rescan_bytes_accounted;
       Alcotest.test_case "partial: no quarantine reuses" `Quick
         test_partial_no_quarantine_reuses;
       Alcotest.test_case "partial: sweep without keep_failed" `Quick

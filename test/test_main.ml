@@ -16,6 +16,7 @@ let () =
       Test_quarantine.suite;
       Test_config.suite;
       Test_instance.suite;
+      Test_sweep_equiv.suite;
       Test_realloc.suite;
       Test_event_log.suite;
       Test_markus.suite;

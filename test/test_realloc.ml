@@ -34,6 +34,42 @@ let test_realloc_copies_and_quarantines () =
     (Vmem.load machine.Alloc.Machine.mem (q + 56));
   Alcotest.(check bool) "old block quarantined" true (I.is_quarantined ms p)
 
+let test_calloc_overflow_rejected () =
+  let _, ms = fresh () in
+  (* count * size overflows the native int: a real allocator returns
+     NULL rather than silently truncating the request. *)
+  Alcotest.(check int) "max_int/2 * 4 rejected" 0 (I.calloc ms (max_int / 2) 4);
+  Alcotest.(check int) "max_int * 2 rejected" 0 (I.calloc ms max_int 2);
+  Alcotest.(check int) "2 * max_int rejected" 0 (I.calloc ms 2 max_int);
+  (* Requests that do NOT overflow keep working. *)
+  Alcotest.(check bool) "ordinary calloc still served" true
+    (I.calloc ms 8 16 <> 0)
+
+let test_realloc_copies_partial_tail () =
+  (* Regression: the copy loop moved whole words only, dropping the
+     final [copy mod 8] bytes when shrinking to an unaligned size. *)
+  let machine, ms = fresh () in
+  let mem = machine.Alloc.Machine.mem in
+  let p = I.malloc ms 64 in
+  Vmem.store mem (p + 56) 0x1122334455667788;
+  (* Shrink to 61 bytes: 7 full words + a 5-byte tail. *)
+  let q = I.realloc ms p 61 in
+  Alcotest.(check int) "surviving tail bytes copied, rest zero"
+    0x4455667788
+    (Vmem.load mem (q + 56))
+
+let test_realloc_grow_from_unaligned () =
+  (* Growing from a block whose requested size was unaligned: the copy
+     covers min(new size, old usable), so the whole old word range must
+     arrive — including the word straddling the old requested size. *)
+  let machine, ms = fresh () in
+  let mem = machine.Alloc.Machine.mem in
+  let p = I.malloc ms 61 in
+  Vmem.store mem (p + 56) 0x0102030405060708;
+  let q = I.realloc ms p 256 in
+  Alcotest.(check int) "straddling word copied in full" 0x0102030405060708
+    (Vmem.load mem (q + 56))
+
 let test_realloc_shrink_keeps_prefix () =
   let machine, ms = fresh () in
   let p = I.malloc ms 256 in
@@ -93,8 +129,14 @@ let suite =
   ( "minesweeper.api",
     [
       Alcotest.test_case "calloc zeroed" `Quick test_calloc_zeroed;
+      Alcotest.test_case "calloc overflow rejected" `Quick
+        test_calloc_overflow_rejected;
       Alcotest.test_case "realloc copies + quarantines" `Quick
         test_realloc_copies_and_quarantines;
+      Alcotest.test_case "realloc copies partial tail" `Quick
+        test_realloc_copies_partial_tail;
+      Alcotest.test_case "realloc grow from unaligned size" `Quick
+        test_realloc_grow_from_unaligned;
       Alcotest.test_case "realloc shrink" `Quick test_realloc_shrink_keeps_prefix;
       Alcotest.test_case "realloc NULL/zero" `Quick test_realloc_null_and_zero;
       Alcotest.test_case "fully concurrent misses mid-sweep spill" `Quick

@@ -108,6 +108,59 @@ let test_soft_dirty () =
   Alcotest.(check bool) "third page dirty" true
     (List.mem (base + (2 * page)) !seen)
 
+let test_dirty_walk_skips_unreadable () =
+  (* Regression: pages dirtied and then decommitted or protected
+     No_access used to be walked (and billed) by the dirty-page re-scan
+     even though a real scan of them would fault. *)
+  let m = fresh () in
+  Vmem.clear_soft_dirty m;
+  Vmem.store m base 1;
+  Vmem.store m (base + page) 2;
+  Vmem.store m (base + (2 * page)) 3;
+  Vmem.decommit m ~addr:base ~len:page;
+  Vmem.protect m ~addr:(base + page) ~len:page Vmem.No_access;
+  let seen = ref [] in
+  Vmem.iter_soft_dirty_pages m (fun p -> seen := p :: !seen);
+  Alcotest.(check (list int)) "only the readable dirty page is walked"
+    [ base + (2 * page) ]
+    !seen;
+  (* The raw bit counter still reports all three. *)
+  Alcotest.(check int) "raw counter untouched" 3 (Vmem.soft_dirty_pages m)
+
+let test_write_generations () =
+  let m = fresh () in
+  let g = Vmem.advance_generation m in
+  Alcotest.(check int) "generation readable" g (Vmem.generation m);
+  (* Pages mapped before the advance predate it. *)
+  Alcotest.(check bool) "initial pages below the new generation" true
+    (Vmem.write_generation m base < g);
+  Vmem.store m base 1;
+  Alcotest.(check int) "store stamps the current generation" g
+    (Vmem.write_generation m base);
+  (* Every content-changing operation stamps: zero, decommit, protect. *)
+  let g2 = Vmem.advance_generation m in
+  Vmem.zero_range m ~addr:(base + page) ~len:8;
+  Vmem.decommit m ~addr:(base + (2 * page)) ~len:page;
+  Vmem.protect m ~addr:(base + (3 * page)) ~len:page Vmem.Read_only;
+  Alcotest.(check int) "zero_range stamps" g2
+    (Vmem.write_generation m (base + page));
+  Alcotest.(check int) "decommit stamps" g2
+    (Vmem.write_generation m (base + (2 * page)));
+  Alcotest.(check int) "protect stamps" g2
+    (Vmem.write_generation m (base + (3 * page)));
+  (* Re-protecting with the same protection is a no-op. *)
+  let g3 = Vmem.advance_generation m in
+  Vmem.protect m ~addr:(base + (3 * page)) ~len:page Vmem.Read_only;
+  Alcotest.(check int) "idempotent protect does not stamp" g2
+    (Vmem.write_generation m (base + (3 * page)));
+  ignore g3;
+  (* The generation-aware page walk exposes the stamps. *)
+  let gens = ref [] in
+  Vmem.iter_readable_pages_gen m (fun p _ ~write_gen ->
+      gens := (p, write_gen) :: !gens);
+  Alcotest.(check bool) "walk reports the stamped generation" true
+    (List.assoc base !gens = g)
+
 let test_iter_committed_words () =
   let m = fresh () in
   Vmem.store m base 10;
@@ -174,6 +227,9 @@ let suite =
       Alcotest.test_case "zero_range spans pages" `Quick
         test_zero_range_spans_pages;
       Alcotest.test_case "soft dirty" `Quick test_soft_dirty;
+      Alcotest.test_case "dirty walk skips unreadable pages" `Quick
+        test_dirty_walk_skips_unreadable;
+      Alcotest.test_case "write generations" `Quick test_write_generations;
       Alcotest.test_case "iter committed words" `Quick
         test_iter_committed_words;
       Alcotest.test_case "iter skips protected/decommitted" `Quick
