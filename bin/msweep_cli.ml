@@ -3,6 +3,9 @@
    Subcommands:
      list                      enumerate available benchmarks
      run -b BENCH -s SCHEME    run one benchmark under one scheme
+     bench -b BENCH --metrics-out F
+                               run and export the metrics registry (JSONL)
+     trace -b BENCH [-o F]     run and dump the structured span ring
      compare -b BENCH          run all schemes and print overheads
      figures [--only IDS]      regenerate paper figures (see bench/)
      attack [-s SCHEME]        run the Figure-2 exploit scenarios
@@ -30,27 +33,29 @@ let find_profile suite name =
   try List.find (fun p -> p.Workloads.Profile.name = name) pool
   with Not_found -> invalid_arg ("unknown benchmark " ^ name)
 
+(* MineSweeper configurations resolve through the canonical preset
+   table; the error message already lists the accepted names. *)
+let ms_config preset =
+  match Minesweeper.Config.of_preset preset with
+  | Ok config -> config
+  | Error msg -> invalid_arg msg
+
 let scheme_of_string = function
   | "baseline" -> Workloads.Harness.Baseline
-  | "minesweeper" | "ms" ->
-    Workloads.Harness.Mine_sweeper Minesweeper.Config.default
-  | "mostly" ->
-    Workloads.Harness.Mine_sweeper Minesweeper.Config.mostly_concurrent
-  | "incremental" | "ms-inc" ->
-    Workloads.Harness.Mine_sweeper Minesweeper.Config.incremental
-  | "incremental-mostly" ->
-    Workloads.Harness.Mine_sweeper Minesweeper.Config.incremental_mostly
+  | "minesweeper" -> Workloads.Harness.Mine_sweeper (ms_config "default")
+  | ("ms" | "ms-inc" | "mostly" | "incremental" | "incremental-mostly") as p ->
+    Workloads.Harness.Mine_sweeper (ms_config p)
   | "markus" -> Workloads.Harness.Mark_us
   | "ffmalloc" | "ff" -> Workloads.Harness.Ff_malloc
   | "dlmalloc" -> Workloads.Harness.Dl_baseline
   | "dlmalloc-minesweeper" | "dl-ms" ->
-    Workloads.Harness.Dl_sweeper Minesweeper.Config.default
+    Workloads.Harness.Dl_sweeper (ms_config "default")
   | "crcount" -> Workloads.Harness.Cr_count
   | "psweeper" -> Workloads.Harness.P_sweeper
   | "dangsan" -> Workloads.Harness.Dang_san
   | "scudo" -> Workloads.Harness.Scudo_baseline
   | "scudo-minesweeper" | "scudo-ms" ->
-    Workloads.Harness.Scudo_sweeper Minesweeper.Config.default
+    Workloads.Harness.Scudo_sweeper (ms_config "default")
   | s -> invalid_arg ("unknown scheme " ^ s)
 
 let mb x = float_of_int x /. 1048576.
@@ -113,6 +118,96 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg)
+
+(* Run a benchmark while holding on to the stack that served it, so the
+   telemetry registry and span ring survive for export after the run. *)
+let run_capturing ~suite ~bench ~scheme ~scale =
+  let profile = find_profile suite bench in
+  let captured = ref None in
+  let result =
+    Workloads.Driver.run ~ops_scale:scale
+      ~on_build:(fun stack -> captured := Some stack)
+      profile (scheme_of_string scheme)
+  in
+  match !captured with
+  | Some stack -> (result, stack)
+  | None -> assert false (* on_build always fires *)
+
+let bench_cmd =
+  let doc =
+    "Run one benchmark under one scheme and export the metrics registry \
+     as JSONL. Exports are deterministic: timestamps come from the \
+     simulated clock, so identical runs produce byte-identical files."
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~doc:"Write the metrics snapshot (JSONL) here")
+  in
+  let spans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~doc:"Also write the span ring (JSONL) here")
+  in
+  let f suite bench scheme scale metrics_out spans_out =
+    let result, stack = run_capturing ~suite ~bench ~scheme ~scale in
+    print_result result;
+    (match (metrics_out, stack.Workloads.Harness.obs) with
+    | Some file, Some reg ->
+      Obs.Export.write_file file (Obs.Export.metrics_to_string reg);
+      Fmt.pr "metrics        %s (%d metrics)@." file
+        (List.length (Obs.Registry.names reg))
+    | Some _, None ->
+      Fmt.epr "scheme %s keeps no metrics registry@." scheme;
+      exit 1
+    | None, _ -> ());
+    match (spans_out, stack.Workloads.Harness.trace) with
+    | Some file, Some ring ->
+      Obs.Export.write_file file (Obs.Export.spans_to_string ring);
+      Fmt.pr "spans          %s (%d retained)@." file
+        (Obs.Trace_ring.retained ring)
+    | Some _, None ->
+      Fmt.epr "scheme %s keeps no trace ring@." scheme;
+      exit 1
+    | None, _ -> ()
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ metrics_arg
+      $ spans_arg)
+
+let trace_cmd =
+  let doc =
+    "Run one benchmark under one scheme and dump the structured span \
+     ring (sweep phases, stop-the-world re-scans, quarantine events, \
+     allocation stalls) as JSONL."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Output file (default: stdout)")
+  in
+  let f suite bench scheme scale out =
+    let _result, stack = run_capturing ~suite ~bench ~scheme ~scale in
+    match stack.Workloads.Harness.trace with
+    | None ->
+      Fmt.epr "scheme %s keeps no trace ring@." scheme;
+      exit 1
+    | Some ring -> (
+      let contents = Obs.Export.spans_to_string ring in
+      match out with
+      | None -> print_string contents
+      | Some file ->
+        Obs.Export.write_file file contents;
+        Fmt.pr "wrote %s: %d span(s) retained (%d emitted)@." file
+          (Obs.Trace_ring.retained ring)
+          (Obs.Trace_ring.emitted ring))
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ out_arg)
 
 let compare_cmd =
   let doc = "Run all schemes on a benchmark and print overheads" in
@@ -278,14 +373,7 @@ let check_cmd =
             "Completed sweeps an unreferenced quarantined allocation may \
              survive before the oracle reports it as retained")
   in
-  let oracle_config = function
-    | "default" -> Minesweeper.Config.default
-    | "mostly" -> Minesweeper.Config.mostly_concurrent
-    | "incremental" -> Minesweeper.Config.incremental
-    | "incremental-mostly" -> Minesweeper.Config.incremental_mostly
-    | "partial" -> Minesweeper.Config.partial_quarantine
-    | s -> invalid_arg ("unknown oracle config " ^ s)
-  in
+  let oracle_config = ms_config in
   let f files oracle corpus config latency =
     let findings = ref 0 in
     let print_diags diags =
@@ -362,6 +450,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; compare_cmd; figures_cmd; attack_cmd;
-            trace_gen_cmd; trace_replay_cmd; check_cmd;
+            list_cmd; run_cmd; bench_cmd; trace_cmd; compare_cmd;
+            figures_cmd; attack_cmd; trace_gen_cmd; trace_replay_cmd;
+            check_cmd;
           ]))

@@ -72,4 +72,58 @@ if grep -q "REGRESSION" "$workdir/incfig.txt"; then
 fi
 echo "incremental swept strictly fewer bytes on every sweeping profile"
 
+echo "== telemetry: metrics export determinism + schema"
+# Two identical runs must export byte-identical JSONL (every value is an
+# integer off the simulated clock — nothing host-dependent may leak in).
+"$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
+  --metrics-out "$workdir/m1.jsonl" --spans-out "$workdir/s1.jsonl" >/dev/null
+"$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
+  --metrics-out "$workdir/m2.jsonl" >/dev/null
+cmp "$workdir/m1.jsonl" "$workdir/m2.jsonl" \
+  || { echo "FAIL: metrics exports differ across identical runs" >&2; exit 1; }
+echo "metrics export byte-identical across identical runs"
+
+# Schema: header line advertises the exact number of metric lines.
+awk '
+  NR == 1 {
+    if ($0 !~ /"schema":"msweep-metrics-v1"/) {
+      print "FAIL: missing metrics schema header" > "/dev/stderr"; exit 1
+    }
+    n = $0; sub(/.*"metrics":/, "", n); sub(/[^0-9].*/, "", n)
+    advertised = n + 0; next
+  }
+  /"metric":/ { lines++ }
+  END {
+    if (lines != advertised) {
+      printf "FAIL: header advertises %d metrics, found %d lines\n", \
+        advertised, lines > "/dev/stderr"
+      exit 1
+    }
+  }' "$workdir/m1.jsonl"
+echo "metrics header count matches exported lines"
+
+# Every instance counter registered under the ms. prefix must appear in
+# the export — a registration that silently falls out of the snapshot
+# path is exactly the drift this gate exists to catch.
+for name in frees_intercepted double_frees sweeps swept_bytes \
+    stw_rescanned_bytes sweep_pages_skipped sweep_pages_rescanned \
+    summary_cache_bytes releases released_bytes failed_frees \
+    unmapped_allocations unmapped_bytes stw_pauses stw_cycles \
+    alloc_pauses alloc_pause_cycles peak_quarantine_bytes uaf_prevented; do
+  grep -q "\"metric\":\"ms\.$name\"" "$workdir/m1.jsonl" \
+    || { echo "FAIL: registered counter ms.$name absent from export" >&2; exit 1; }
+done
+# The layered registries must have joined the same export.
+for name in vmem.committed_bytes alloc.mallocs ms.sweep_scan_bytes; do
+  grep -q "\"metric\":\"$name\"" "$workdir/m1.jsonl" \
+    || { echo "FAIL: $name absent from export" >&2; exit 1; }
+done
+echo "all registered counters present in the export"
+
+head -1 "$workdir/s1.jsonl" | grep -q '"schema":"msweep-spans-v1"' \
+  || { echo "FAIL: missing spans schema header" >&2; exit 1; }
+grep -q '"phase":"mark"' "$workdir/s1.jsonl" \
+  || { echo "FAIL: no mark-phase spans in a sweeping profile" >&2; exit 1; }
+echo "span export carries the sweep-phase profile"
+
 echo "== all checks passed"

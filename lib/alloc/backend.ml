@@ -24,6 +24,12 @@ module type S = sig
   val live_bytes : t -> int
   (** The heap-size measure quarantine thresholds compare against. *)
 
+  val is_live : t -> int -> bool
+  (** Whether [addr] is the base of an allocation the application
+      currently owns — handed out by [malloc] and not yet returned.
+      MineSweeper consults it to classify a free of a never-allocated
+      pointer ([Unknown_pointer]) apart from a quarantined double free. *)
+
   val wilderness : t -> int
   (** Upper bound of the heap: sweeps reject word values above it. *)
 

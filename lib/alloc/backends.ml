@@ -9,6 +9,7 @@ module Jemalloc_backend : Backend.S with type t = Jemalloc.t = struct
   let free = Jemalloc.free
   let usable_size = Jemalloc.usable_size
   let live_bytes = Jemalloc.live_bytes
+  let is_live = Jemalloc.is_live
   let wilderness = Jemalloc.wilderness
   let set_extent_hooks = Jemalloc.set_extent_hooks
   let purge_tick = Jemalloc.purge_tick
@@ -24,6 +25,7 @@ module Scudo_backend : Backend.S with type t = Scudo.t = struct
   let free = Scudo.free
   let usable_size = Scudo.usable_size
   let live_bytes = Scudo.live_bytes
+  let is_live = Scudo.is_live
   let wilderness = Scudo.wilderness
   let set_extent_hooks = Scudo.set_extent_hooks
   let purge_tick = Scudo.purge_tick
@@ -39,6 +41,7 @@ module Dlmalloc_backend : Backend.S with type t = Dlmalloc.t = struct
   let free = Dlmalloc.free
   let usable_size = Dlmalloc.usable_size
   let live_bytes = Dlmalloc.live_bytes
+  let is_live = Dlmalloc.is_live
   let wilderness = Dlmalloc.wilderness
   let set_extent_hooks = Dlmalloc.set_extent_hooks
   let purge_tick = Dlmalloc.purge_tick

@@ -138,6 +138,17 @@ let free t payload =
   bin_push t (bin_of_size size) payload
 
 let live_bytes t = t.live_bytes
+
+(* In-band metadata is all there is: an address is live iff its header
+   word parses as allocated. Reading the header of an arbitrary address
+   may fault (unmapped page) — that is a definitive "not live". *)
+let is_live t payload =
+  payload > header_bytes
+  &&
+  match read_header t payload with
+  | header -> is_allocated header
+  | exception _ -> false
+
 let wilderness t = Extent.wilderness t.extent
 let set_extent_hooks t hooks = Extent.set_hooks t.extent hooks
 

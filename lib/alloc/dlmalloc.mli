@@ -28,6 +28,11 @@ val malloc : t -> int -> int
 val free : t -> int -> unit
 val usable_size : t -> int -> int
 val live_bytes : t -> int
+
+val is_live : t -> int -> bool
+(** Whether the address's in-band header parses as an allocated chunk
+    (false for free chunks and for addresses outside the heap). *)
+
 val wilderness : t -> int
 val set_extent_hooks : t -> Extent.hooks -> unit
 val purge_tick : t -> unit

@@ -298,3 +298,12 @@ let stats t =
     slab_count = t.slab_count;
     large_count = Hashtbl.length t.large;
   }
+
+let attach_obs t reg =
+  Obs.Registry.derive_counter reg "alloc.mallocs" (fun () -> t.mallocs);
+  Obs.Registry.derive_counter reg "alloc.frees" (fun () -> t.frees);
+  Obs.Registry.derive_gauge reg "alloc.live_allocations" (fun () ->
+      t.live_allocs);
+  Obs.Registry.derive_gauge reg "alloc.live_bytes" (fun () -> t.live_bytes);
+  Obs.Registry.derive_gauge reg "alloc.retained_dirty_bytes" (fun () ->
+      retained_dirty_bytes t)

@@ -91,3 +91,9 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val attach_obs : t -> Obs.Registry.t -> unit
+(** Register the allocator's accounting as read-through metrics
+    ([alloc.mallocs], [alloc.frees], [alloc.live_allocations],
+    [alloc.live_bytes], [alloc.retained_dirty_bytes]). Raises
+    {!Obs.Registry.Duplicate} if the names are already claimed. *)

@@ -41,6 +41,17 @@ let free t addr =
   end
 
 let usable_size t addr = Jemalloc.usable_size t.heap addr
+
+(* Slots parked in the randomisation pool were already freed by the
+   caller: the underlying heap still counts them live, the app does not. *)
+let is_live t addr =
+  Jemalloc.is_live t.heap addr
+  &&
+  let pooled = ref false in
+  for i = 0 to t.pool_len - 1 do
+    if t.pool.(i) = addr then pooled := true
+  done;
+  not !pooled
 let live_bytes t = Jemalloc.live_bytes t.heap
 let wilderness t = Jemalloc.wilderness t.heap
 let set_extent_hooks t hooks = Jemalloc.set_extent_hooks t.heap hooks

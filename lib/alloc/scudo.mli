@@ -19,6 +19,11 @@ val malloc : t -> int -> int
 val free : t -> int -> unit
 val usable_size : t -> int -> int
 val live_bytes : t -> int
+
+val is_live : t -> int -> bool
+(** Live from the application's perspective: allocated and neither freed
+    to the randomisation pool nor to the underlying heap. *)
+
 val wilderness : t -> int
 val set_extent_hooks : t -> Extent.hooks -> unit
 val purge_tick : t -> unit

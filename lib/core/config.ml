@@ -109,6 +109,72 @@ let partial_versions =
     ("+ Failed Frees", partial_full);
   ]
 
+(* Labelled constructor: every field defaults to the shipping
+   configuration, so call sites name only what they change. *)
+let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
+    ?(unmapping = default.unmapping) ?(sweeping = default.sweeping)
+    ?(keep_failed = default.keep_failed) ?(purging = default.purging)
+    ?(concurrency = default.concurrency) ?(sweep_mode = default.sweep_mode)
+    ?(threshold = default.threshold)
+    ?(threshold_min_bytes = default.threshold_min_bytes)
+    ?(unmap_factor = default.unmap_factor)
+    ?(pause_factor = default.pause_factor)
+    ?(shadow_granule = default.shadow_granule)
+    ?(debug_double_free = default.debug_double_free) () =
+  {
+    quarantining;
+    zeroing;
+    unmapping;
+    sweeping;
+    keep_failed;
+    purging;
+    concurrency;
+    sweep_mode;
+    threshold;
+    threshold_min_bytes;
+    unmap_factor;
+    pause_factor;
+    shadow_granule;
+    debug_double_free;
+  }
+
+(* The canonical preset table: the single place a preset string is tied
+   to a configuration. The CLI, the harness and the oracle all resolve
+   through it; aliases keep historical spellings working. *)
+let presets =
+  [
+    ("default", default);
+    ("mostly", mostly_concurrent);
+    ("incremental", incremental);
+    ("incremental-mostly", incremental_mostly);
+    ("unoptimised", unoptimised);
+    ("partial", partial_quarantine);
+  ]
+
+let preset_aliases =
+  [ ("fully", "default"); ("ms", "default"); ("ms-inc", "incremental") ]
+
+let of_preset name =
+  let canonical =
+    match List.assoc_opt name preset_aliases with
+    | Some target -> target
+    | None -> name
+  in
+  match List.assoc_opt canonical presets with
+  | Some config -> Ok config
+  | None ->
+    Error
+      (Printf.sprintf "unknown MineSweeper preset %S (expected one of: %s)"
+         name
+         (String.concat ", " (List.map fst presets)))
+
+let preset_name config =
+  let rec find = function
+    | [] -> None
+    | (name, preset) :: rest -> if config = preset then Some name else find rest
+  in
+  find presets
+
 let pp ppf t =
   let concurrency =
     match t.concurrency with

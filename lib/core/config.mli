@@ -99,4 +99,39 @@ val partial_full : t
 
 val partial_versions : (string * t) list
 
+(** {1 Construction and presets} *)
+
+val make :
+  ?quarantining:bool ->
+  ?zeroing:bool ->
+  ?unmapping:bool ->
+  ?sweeping:bool ->
+  ?keep_failed:bool ->
+  ?purging:bool ->
+  ?concurrency:concurrency ->
+  ?sweep_mode:sweep_mode ->
+  ?threshold:float ->
+  ?threshold_min_bytes:int ->
+  ?unmap_factor:float ->
+  ?pause_factor:float ->
+  ?shadow_granule:int ->
+  ?debug_double_free:bool ->
+  unit ->
+  t
+(** Labelled constructor; every omitted field takes its {!default}
+    value, so [make ~sweep_mode:Incremental ()] reads as a delta. *)
+
+val presets : (string * t) list
+(** The named configurations the CLI and harness accept:
+    [default], [mostly], [incremental], [incremental-mostly],
+    [unoptimised], [partial]. *)
+
+val of_preset : string -> (t, string) result
+(** Resolve a preset string (including the historical aliases [fully],
+    [ms], [ms-inc]); the error carries the accepted names. *)
+
+val preset_name : t -> string option
+(** The canonical preset name of a configuration, if it equals one
+    ([None] for hand-built variants). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,5 @@
+module Ring = Obs.Trace_ring
+
 type event =
   | Free_intercepted of { addr : int; usable : int }
   | Double_free of { addr : int }
@@ -7,31 +9,89 @@ type event =
   | Stop_the_world of { cycles : int }
   | Allocation_paused of { cycles : int }
 
+(* The log is a thin emitter: events are encoded as instantaneous spans
+   in an [Obs.Trace_ring] (possibly shared with the instance's phase
+   profiling) and decoded back on read. [recorded] counts this log's own
+   emissions — the shared ring may hold other producers' spans too. *)
 type t = {
-  ring : (int * event) option array;
-  mutable next : int;
+  ring : Ring.t;
   mutable recorded : int;
 }
 
-let create ?(capacity = 1024) () =
-  assert (capacity > 0);
-  { ring = Array.make capacity None; next = 0; recorded = 0 }
+let create ?(capacity = 1024) ?ring () =
+  let ring =
+    match ring with Some r -> r | None -> Ring.create ~capacity ()
+  in
+  { ring; recorded = 0 }
+
+let ring t = t.ring
+
+let span_of_event event =
+  match event with
+  | Free_intercepted { addr; usable } ->
+    (Ring.Quarantine, "free", [ ("addr", addr); ("usable", usable) ])
+  | Double_free { addr } -> (Ring.Quarantine, "double-free", [ ("addr", addr) ])
+  | Unmapped { addr; len } ->
+    (Ring.Quarantine, "unmap", [ ("addr", addr); ("len", len) ])
+  | Sweep_started { sweep; quarantined_bytes } ->
+    ( Ring.Mark,
+      "sweep-start",
+      [ ("sweep", sweep); ("quarantined_bytes", quarantined_bytes) ] )
+  | Sweep_finished { sweep; released; failed } ->
+    ( Ring.Mark,
+      "sweep-finish",
+      [ ("sweep", sweep); ("released", released); ("failed", failed) ] )
+  | Stop_the_world { cycles } -> (Ring.Scan, "stw", [ ("cycles", cycles) ])
+  | Allocation_paused { cycles } ->
+    (Ring.Alloc_slow, "alloc-pause", [ ("cycles", cycles) ])
+
+let event_of_span (s : Ring.span) =
+  let attr name = List.assoc_opt name s.Ring.attrs in
+  match (s.Ring.label, s.Ring.attrs) with
+  | "free", _ -> (
+    match (attr "addr", attr "usable") with
+    | Some addr, Some usable -> Some (Free_intercepted { addr; usable })
+    | _ -> None)
+  | "double-free", _ -> (
+    match attr "addr" with
+    | Some addr -> Some (Double_free { addr })
+    | None -> None)
+  | "unmap", _ -> (
+    match (attr "addr", attr "len") with
+    | Some addr, Some len -> Some (Unmapped { addr; len })
+    | _ -> None)
+  | "sweep-start", _ -> (
+    match (attr "sweep", attr "quarantined_bytes") with
+    | Some sweep, Some quarantined_bytes ->
+      Some (Sweep_started { sweep; quarantined_bytes })
+    | _ -> None)
+  | "sweep-finish", _ -> (
+    match (attr "sweep", attr "released", attr "failed") with
+    | Some sweep, Some released, Some failed ->
+      Some (Sweep_finished { sweep; released; failed })
+    | _ -> None)
+  | "stw", _ -> (
+    match attr "cycles" with
+    | Some cycles -> Some (Stop_the_world { cycles })
+    | None -> None)
+  | "alloc-pause", _ -> (
+    match attr "cycles" with
+    | Some cycles -> Some (Allocation_paused { cycles })
+    | None -> None)
+  | _ -> None
 
 let record t ~now event =
-  t.ring.(t.next) <- Some (now, event);
-  t.next <- (t.next + 1) mod Array.length t.ring;
+  let phase, label, attrs = span_of_event event in
+  Ring.emit t.ring ~phase ~label ~t_start:now ~t_end:now ~attrs ();
   t.recorded <- t.recorded + 1
 
 let events t =
-  let n = Array.length t.ring in
-  let rec collect i acc =
-    if i = n then List.rev acc
-    else
-      let idx = (t.next + i) mod n in
-      collect (i + 1)
-        (match t.ring.(idx) with Some e -> e :: acc | None -> acc)
-  in
-  collect 0 []
+  List.filter_map
+    (fun (s : Ring.span) ->
+      match event_of_span s with
+      | Some e -> Some (s.Ring.t_start, e)
+      | None -> None)
+    (Ring.spans t.ring)
 
 let recorded t = t.recorded
 

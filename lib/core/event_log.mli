@@ -3,8 +3,13 @@
     The production analogue is the debug/telemetry channel an operator
     would tail when deploying a drop-in mitigation: what was quarantined,
     when sweeps ran and what they recycled, where pauses came from.
-    Recording is allocation-light (a fixed ring buffer) so it can stay on
-    in production configurations; the newest [capacity] events win. *)
+
+    Redesigned as a thin emitter over {!Obs.Trace_ring}: each event is
+    one instantaneous span (phase-tagged, attrs carrying the payload),
+    and {!events} decodes the retained spans back. When the ring is
+    shared with the instance's phase-profiling spans, unknown labels are
+    skipped on decode — the event view stays clean while [msweep trace]
+    sees everything. *)
 
 type event =
   | Free_intercepted of { addr : int; usable : int }
@@ -17,16 +22,24 @@ type event =
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Default capacity: 1024 events. *)
+val create : ?capacity:int -> ?ring:Obs.Trace_ring.t -> unit -> t
+(** Default capacity: 1024 events. [ring] shares an existing trace ring
+    instead of allocating a private one (capacity is then the ring's). *)
+
+val ring : t -> Obs.Trace_ring.t
+(** The backing span ring (shared with the instance when created with
+    [?ring]). *)
 
 val record : t -> now:int -> event -> unit
 
 val events : t -> (int * event) list
-(** Retained events, oldest first, each with its wall-cycle timestamp. *)
+(** Retained events, oldest first, each with its wall-cycle timestamp.
+    Spans in the backing ring that are not event-encoded (e.g. phase
+    profiling) are skipped. *)
 
 val recorded : t -> int
-(** Total events ever recorded (≥ retained count once the ring wraps). *)
+(** Total events ever recorded through this log (≥ retained count once
+    the ring wraps). *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -2,11 +2,22 @@
 
 module type S = Instance_intf.S
 
+type error = Instance_intf.error =
+  | Unknown_pointer of int
+  | Double_free of int
+  | Size_overflow
+
+let pp_error = Instance_intf.pp_error
+let error_to_string = Instance_intf.error_to_string
+
 module Make (B : Alloc.Backend.S) = struct
   type backend = B.t
 
 let page = Vmem.page_size
 let word = Vmem.word_size
+
+module R = Obs.Registry
+module Ring = Obs.Trace_ring
 
 type sweep_state = {
   entries : Quarantine.entry list;
@@ -32,7 +43,11 @@ type t = {
   config : Config.t;
   quarantine : Quarantine.t;
   shadow : Shadow.t;
-  stats : Stats.t;
+  registry : R.t;
+  ring : Ring.t;
+  stats : Stats.Live.t;
+  scan_hist : R.histogram; (* per-sweep scanned bytes distribution *)
+  alloc_hist : R.histogram; (* malloc request sizes *)
   unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
   log : Event_log.t;
   mutable summaries : (int, page_summary) Hashtbl.t; (* page index *)
@@ -48,9 +63,16 @@ let decay_tick_interval = 1_000_000
    threads run. *)
 let bandwidth_cycles_per_byte = 0.0625
 
+(* The shared span ring: sized for the event traffic plus a handful of
+   profiling spans per sweep, so a sweep's phase spans are retained long
+   enough for coverage checks even under free-heavy workloads. *)
+let ring_capacity = 8192
+
 let cost t = t.machine.Alloc.Machine.cost
 let mem t = t.machine.Alloc.Machine.mem
 let now t = Alloc.Machine.now t.machine
+
+let count = R.Counter.incr
 
 let helpers_of t =
   match t.config.Config.concurrency with
@@ -62,8 +84,10 @@ let stop_the_world_of t =
   | Config.Sequential -> false
   | Config.Concurrent { stop_the_world; _ } -> stop_the_world
 
-let create ?(config = Config.default) ?(threads = 1) machine =
+let create ?(config = Config.default) ?(threads = 1) ?obs machine =
   let je = B.create ~extra_byte:true machine in
+  let registry = match obs with Some r -> r | None -> R.create () in
+  let ring = Ring.create ~capacity:ring_capacity () in
   let t =
     {
       machine;
@@ -71,15 +95,28 @@ let create ?(config = Config.default) ?(threads = 1) machine =
       config;
       quarantine = Quarantine.create machine ~threads;
       shadow = Shadow.create ~granule:config.Config.shadow_granule ();
-      stats = Stats.create ();
+      registry;
+      ring;
+      stats = Stats.Live.create registry;
+      scan_hist = R.histogram registry "ms.sweep_scan_bytes";
+      alloc_hist = R.histogram registry "ms.alloc_request_bytes";
       unmapped_pages = Hashtbl.create 1024;
-      log = Event_log.create ();
+      log = Event_log.create ~ring ();
       summaries = Hashtbl.create 1024;
       sweep = None;
       last_decay_tick = 0;
       post_sweep_hook = None;
     }
   in
+  (* The surrounding layers publish their accounting into the same
+     registry as read-through metrics — one export covers the stack. *)
+  Vmem.attach_obs (mem t) registry;
+  R.derive_gauge registry "alloc.backend_live_bytes" (fun () ->
+      B.live_bytes je);
+  R.derive_gauge registry "ms.quarantine_bytes" (fun () ->
+      Quarantine.total_bytes t.quarantine);
+  R.derive_gauge registry "ms.shadow_resident_bytes" (fun () ->
+      Shadow.shadow_bytes t.shadow);
   (* Integrate with the allocator's extent life-cycle (Section 4.5):
      purged extents are decommitted *and* protected so that sweeps skip
      them instead of demand-allocating them back in, and are restored on
@@ -125,7 +162,7 @@ let mark_all_memory t =
   Vmem.iter_readable_pages (mem t) (fun _base bytes ->
       mark_page t bytes;
       swept := !swept + page);
-  t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + !swept;
+  count t.stats.Stats.Live.swept_bytes !swept;
   !swept
 
 (* All words of a page that lie in the heap *address range*, deduped and
@@ -177,15 +214,13 @@ let mark_incremental t =
         incr rescanned_pages;
         Hashtbl.replace fresh index { gen; targets });
   t.summaries <- fresh;
-  t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + !rescanned;
-  t.stats.Stats.sweep_pages_skipped <-
-    t.stats.Stats.sweep_pages_skipped + !skipped_pages;
-  t.stats.Stats.sweep_pages_rescanned <-
-    t.stats.Stats.sweep_pages_rescanned + !rescanned_pages;
-  t.stats.Stats.summary_cache_bytes <-
-    Hashtbl.fold
-      (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
-      fresh 0;
+  count t.stats.Stats.Live.swept_bytes !rescanned;
+  count t.stats.Stats.Live.sweep_pages_skipped !skipped_pages;
+  count t.stats.Stats.Live.sweep_pages_rescanned !rescanned_pages;
+  R.Gauge.set t.stats.Stats.Live.summary_cache_bytes
+    (Hashtbl.fold
+       (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
+       fresh 0);
   (!rescanned, !replayed)
 
 (* Audit-only reference marks: build the mark set each strategy would
@@ -242,9 +277,8 @@ let release_entry t (e : Quarantine.entry) =
   restore_unmapped t e;
   Quarantine.release t.quarantine e;
   B.free t.je e.Quarantine.addr;
-  t.stats.Stats.releases <- t.stats.Stats.releases + 1;
-  t.stats.Stats.released_bytes <-
-    t.stats.Stats.released_bytes + e.Quarantine.usable
+  count t.stats.Stats.Live.releases 1;
+  count t.stats.Stats.Live.released_bytes e.Quarantine.usable
 
 let release_all t entries =
   let c = cost t in
@@ -261,7 +295,7 @@ let release_all t entries =
            ~len:e.Quarantine.usable)
       in
       if blocked then begin
-        t.stats.Stats.failed_frees <- t.stats.Stats.failed_frees + 1;
+        count t.stats.Stats.Live.failed_frees 1;
         if t.config.Config.keep_failed then Quarantine.requeue_failed t.quarantine e
         else release_entry t e
       end
@@ -278,51 +312,67 @@ let sweep_sink t =
 
 let log_event t event = Event_log.record t.log ~now:(now t) event
 
+let sweep_number t = R.Counter.value t.stats.Stats.Live.sweeps
+
 let finish_sweep t state =
   (* Mostly concurrent mode: brief stop-the-world re-scan of the pages
      written during the sweep, so moved dangling pointers are seen. *)
   if t.config.Config.sweeping && stop_the_world_of t then begin
     let c = cost t in
+    let pending = Ring.enter ~now:(now t) Ring.Scan "stw-rescan" in
     let dirty_bytes =
       Alloc.Machine.with_sink t.machine Alloc.Machine.Background (fun () ->
           mark_dirty_pages t)
     in
     (* The re-scan is real marking work: account it with the rest of the
        swept bytes, and separately so pause work stays visible. *)
-    t.stats.Stats.swept_bytes <- t.stats.Stats.swept_bytes + dirty_bytes;
-    t.stats.Stats.stw_rescanned_bytes <-
-      t.stats.Stats.stw_rescanned_bytes + dirty_bytes;
+    count t.stats.Stats.Live.swept_bytes dirty_bytes;
+    count t.stats.Stats.Live.stw_rescanned_bytes dirty_bytes;
     let scan_cycles = Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte dirty_bytes in
     let pause =
       c.Sim.Cost.stw_signal + (scan_cycles / (helpers_of t + 1))
     in
     Sim.Clock.stall t.machine.Alloc.Machine.clock pause;
     Sim.Clock.background t.machine.Alloc.Machine.clock scan_cycles;
-    t.stats.Stats.stw_pauses <- t.stats.Stats.stw_pauses + 1;
-    t.stats.Stats.stw_cycles <- t.stats.Stats.stw_cycles + pause;
+    count t.stats.Stats.Live.stw_pauses 1;
+    count t.stats.Stats.Live.stw_cycles pause;
+    Ring.exit t.ring pending ~now:(now t) ~bytes:dirty_bytes
+      ~attrs:[ ("sweep", sweep_number t); ("pause_cycles", pause) ]
+      ();
     log_event t (Event_log.Stop_the_world { cycles = pause })
   end;
-  let released_before = t.stats.Stats.releases in
-  let failed_before = t.stats.Stats.failed_frees in
+  let released_before = R.Counter.value t.stats.Stats.Live.releases in
+  let failed_before = R.Counter.value t.stats.Stats.Live.failed_frees in
+  let released_bytes_before = R.Counter.value t.stats.Stats.Live.released_bytes in
+  let pending = Ring.enter ~now:(now t) Ring.Quarantine "release" in
   Alloc.Machine.with_sink t.machine (sweep_sink t) (fun () ->
       release_all t state.entries;
-      if t.config.Config.purging then B.purge_all t.je);
+      if t.config.Config.purging then begin
+        let p = Ring.enter ~now:(now t) Ring.Purge "purge" in
+        B.purge_all t.je;
+        Ring.exit t.ring p ~now:(now t)
+          ~attrs:[ ("sweep", sweep_number t) ]
+          ()
+      end);
+  let released = R.Counter.value t.stats.Stats.Live.releases - released_before in
+  let failed = R.Counter.value t.stats.Stats.Live.failed_frees - failed_before in
+  Ring.exit t.ring pending ~now:(now t)
+    ~bytes:(R.Counter.value t.stats.Stats.Live.released_bytes
+            - released_bytes_before)
+    ~attrs:[ ("sweep", sweep_number t); ("released", released);
+             ("failed", failed) ]
+    ();
   log_event t
-    (Event_log.Sweep_finished
-       {
-         sweep = t.stats.Stats.sweeps;
-         released = t.stats.Stats.releases - released_before;
-         failed = t.stats.Stats.failed_frees - failed_before;
-       });
+    (Event_log.Sweep_finished { sweep = sweep_number t; released; failed });
   t.sweep <- None;
   match t.post_sweep_hook with None -> () | Some hook -> hook ()
 
 let start_sweep t =
-  t.stats.Stats.sweeps <- t.stats.Stats.sweeps + 1;
+  count t.stats.Stats.Live.sweeps 1;
   log_event t
     (Event_log.Sweep_started
        {
-         sweep = t.stats.Stats.sweeps;
+         sweep = sweep_number t;
          quarantined_bytes = Quarantine.total_bytes t.quarantine;
        });
   let entries = Quarantine.lock_in t.quarantine in
@@ -336,17 +386,28 @@ let start_sweep t =
      not the whole readable footprint. *)
   let scanned_bytes = ref 0 in
   if t.config.Config.sweeping then begin
+    (* The mark span's [bytes] carries exactly what this phase charged to
+       [swept_bytes]: summing mark + scan spans reproduces the counter. *)
     (match t.config.Config.sweep_mode with
     | Config.Full_scan ->
+      let pending = Ring.enter ~now:(now t) Ring.Mark "mark-full" in
       let swept =
         Alloc.Machine.with_sink t.machine sink (fun () -> mark_all_memory t)
       in
+      Ring.exit t.ring pending ~now:(now t) ~bytes:swept
+        ~attrs:[ ("sweep", sweep_number t) ]
+        ();
       scanned_bytes := swept
     | Config.Incremental ->
+      let pending = Ring.enter ~now:(now t) Ring.Mark "mark-incremental" in
       let rescanned, replayed =
         Alloc.Machine.with_sink t.machine sink (fun () -> mark_incremental t)
       in
+      Ring.exit t.ring pending ~now:(now t) ~bytes:rescanned
+        ~attrs:[ ("sweep", sweep_number t); ("replayed_words", replayed) ]
+        ();
       scanned_bytes := rescanned + (replayed * word));
+    R.Histogram.observe t.scan_hist !scanned_bytes;
     busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte !scanned_bytes
   end;
   (* The release phase charges itself per entry in [release_all]; the
@@ -427,15 +488,19 @@ let malloc t size =
       float_of_int (Quarantine.fresh_mapped_bytes t.quarantine)
       >= t.config.Config.pause_factor *. float_of_int heap
     then begin
+      let pending = Ring.enter ~now:(now t) Ring.Alloc_slow "alloc-stall" in
       let wait = max 0 (state.completion - now t) in
       Sim.Clock.stall t.machine.Alloc.Machine.clock wait;
+      Ring.exit t.ring pending ~now:(now t)
+        ~attrs:[ ("cycles", wait) ]
+        ();
       log_event t (Event_log.Allocation_paused { cycles = wait });
-      t.stats.Stats.alloc_pauses <- t.stats.Stats.alloc_pauses + 1;
-      t.stats.Stats.alloc_pause_cycles <-
-        t.stats.Stats.alloc_pause_cycles + wait;
+      count t.stats.Stats.Live.alloc_pauses 1;
+      count t.stats.Stats.Live.alloc_pause_cycles wait;
       tick t
     end
   | None -> ());
+  R.Histogram.observe t.alloc_hist size;
   B.malloc t.je size
 
 let zero_entry t addr usable skip =
@@ -464,8 +529,8 @@ let unmap_entry t (e : Quarantine.entry) (lo, len) =
   done;
   e.Quarantine.unmapped_len <- len;
   log_event t (Event_log.Unmapped { addr = lo; len });
-  t.stats.Stats.unmapped_allocations <- t.stats.Stats.unmapped_allocations + 1;
-  t.stats.Stats.unmapped_bytes <- t.stats.Stats.unmapped_bytes + len
+  count t.stats.Stats.Live.unmapped_allocations 1;
+  count t.stats.Stats.Live.unmapped_bytes len
 
 let forward_free t addr =
   (* Quarantining disabled (partial versions 1-2): optionally unmap-and-
@@ -485,60 +550,87 @@ let forward_free t addr =
   end;
   B.free t.je addr
 
-let free t ?(thread = 0) addr =
+(* The quarantining path proper: [addr] is known live and not yet
+   quarantined. *)
+let quarantine_free t ~thread addr =
+  let usable = B.usable_size t.je addr in
+  log_event t (Event_log.Free_intercepted { addr; usable });
+  let e = { Quarantine.addr; usable; unmapped_len = 0; failures = 0 } in
+  let covered =
+    if t.config.Config.unmapping then covered_pages ~addr ~len:usable
+    else None
+  in
+  if t.config.Config.zeroing then zero_entry t addr usable covered;
+  (match covered with
+  | Some range -> unmap_entry t e range
+  | None -> ());
+  Quarantine.push t.quarantine ~thread e;
+  (* Unmapped entries are rare and large: flush them to the global
+     quarantine at once so the 9x-footprint trigger sees them. *)
+  if e.Quarantine.unmapped_len > 0 then
+    Quarantine.flush_thread t.quarantine ~thread;
+  R.Gauge.set_max t.stats.Stats.Live.peak_quarantine_bytes
+    (Quarantine.total_bytes t.quarantine);
+  maybe_sweep t
+
+let free_result t ?(thread = 0) addr =
   tick t;
-  t.stats.Stats.frees_intercepted <- t.stats.Stats.frees_intercepted + 1;
-  if not t.config.Config.quarantining then forward_free t addr
+  if not t.config.Config.quarantining then
+    if not (B.is_live t.je addr) then Error (Unknown_pointer addr)
+    else begin
+      count t.stats.Stats.Live.frees_intercepted 1;
+      forward_free t addr;
+      Ok ()
+    end
   else if Quarantine.contains t.quarantine addr then begin
     (* Double free while quarantined: idempotent (Section 3). *)
-    t.stats.Stats.double_frees <- t.stats.Stats.double_frees + 1;
+    count t.stats.Stats.Live.frees_intercepted 1;
+    count t.stats.Stats.Live.double_frees 1;
     log_event t (Event_log.Double_free { addr });
     if t.config.Config.debug_double_free then
-      Logs.warn (fun m -> m "MineSweeper: double free of %#x" addr)
+      Logs.warn (fun m -> m "MineSweeper: double free of %#x" addr);
+    Error (Double_free addr)
   end
+  else if not (B.is_live t.je addr) then Error (Unknown_pointer addr)
   else begin
-    let usable = B.usable_size t.je addr in
-    log_event t (Event_log.Free_intercepted { addr; usable });
-    let e = { Quarantine.addr; usable; unmapped_len = 0; failures = 0 } in
-    let covered =
-      if t.config.Config.unmapping then covered_pages ~addr ~len:usable
-      else None
-    in
-    if t.config.Config.zeroing then zero_entry t addr usable covered;
-    (match covered with
-    | Some range -> unmap_entry t e range
-    | None -> ());
-    Quarantine.push t.quarantine ~thread e;
-    (* Unmapped entries are rare and large: flush them to the global
-       quarantine at once so the 9x-footprint trigger sees them. *)
-    if e.Quarantine.unmapped_len > 0 then
-      Quarantine.flush_thread t.quarantine ~thread;
-    let total = Quarantine.total_bytes t.quarantine in
-    if total > t.stats.Stats.peak_quarantine_bytes then
-      t.stats.Stats.peak_quarantine_bytes <- total;
-    maybe_sweep t
+    count t.stats.Stats.Live.frees_intercepted 1;
+    quarantine_free t ~thread addr;
+    Ok ()
   end
+
+let free t ?(thread = 0) addr =
+  match free_result t ~thread addr with
+  | Ok () | Error (Double_free _) -> ()
+  | Error (Unknown_pointer _) ->
+    invalid_arg (Printf.sprintf "Instance.free: unknown pointer %#x" addr)
+  | Error Size_overflow -> assert false
 
 (* calloc/realloc complete the drop-in allocator API. realloc frees
    through the quarantine like any other free: the old range stays
    protected until sweeps prove it safe. *)
 
-let calloc t count size =
+let calloc_result t count size =
   assert (count >= 0 && size >= 0);
   (* Reject requests whose total size overflows, like a real allocator:
      returning a short block for [count * size] bytes would hand the
      program silently truncated memory. *)
-  if size <> 0 && count > max_int / size then 0
+  if size <> 0 && count > max_int / size then Error Size_overflow
   else
     (* The backend already serves zeroed memory. *)
-    malloc t (count * size)
+    Ok (malloc t (count * size))
 
-let realloc t ?(thread = 0) addr size =
-  if addr = 0 then malloc t size
-  else if size = 0 then begin
-    free t ~thread addr;
-    0
-  end
+let calloc t count size =
+  match calloc_result t count size with Ok addr -> addr | Error _ -> 0
+
+let realloc_result t ?(thread = 0) addr size =
+  if addr = 0 then Ok (malloc t size)
+  else if t.config.Config.quarantining && Quarantine.contains t.quarantine addr
+  then Error (Double_free addr)
+  else if not (B.is_live t.je addr) then Error (Unknown_pointer addr)
+  else if size = 0 then
+    match free_result t ~thread addr with
+    | Ok () -> Ok 0
+    | Error e -> Error e
   else begin
     let old_usable = B.usable_size t.je addr in
     let fresh = malloc t size in
@@ -564,19 +656,26 @@ let realloc t ?(thread = 0) addr size =
     end;
     Alloc.Machine.charge_bytes t.machine (cost t).Sim.Cost.touch_per_byte copy;
     free t ~thread addr;
-    fresh
+    Ok fresh
   end
+
+let realloc t ?(thread = 0) addr size =
+  match realloc_result t ~thread addr size with
+  | Ok fresh -> fresh
+  | Error _ -> 0
 
 let is_quarantined t addr = Quarantine.contains t.quarantine addr
 
-let note_prevented_uaf t =
-  t.stats.Stats.uaf_prevented <- t.stats.Stats.uaf_prevented + 1
+let note_prevented_uaf t = count t.stats.Stats.Live.uaf_prevented 1
 
 let backend t = t.je
 let live_bytes t = B.live_bytes t.je
 let machine t = t.machine
 let config t = t.config
-let stats t = t.stats
+let stats t = Stats.snapshot t.stats
+let reset_stats t = Stats.reset t.stats
+let registry t = t.registry
+let trace_ring t = t.ring
 let quarantine_bytes t = Quarantine.total_bytes t.quarantine
 let quarantine_entries t = Quarantine.entry_count t.quarantine
 let event_log t = t.log

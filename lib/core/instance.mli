@@ -19,6 +19,16 @@
 
 module type S = Instance_intf.S
 
+type error = Instance_intf.error =
+  | Unknown_pointer of int
+  | Double_free of int
+  | Size_overflow
+      (** Outcomes of the typed deallocation API ([free_result],
+          [realloc_result], [calloc_result]); see {!Instance_intf.error}. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
 module Make (B : Alloc.Backend.S) : S with type backend = B.t
 
 include S with type backend = Alloc.Jemalloc.t

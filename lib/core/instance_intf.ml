@@ -1,32 +1,83 @@
 (** Signature of a MineSweeper instance; see {!Instance} for the
     documentation of the layer itself. *)
 
+type error =
+  | Unknown_pointer of int
+      (** The address is not the base of an allocation the application
+          owns: never allocated, already recycled, or interior. *)
+  | Double_free of int
+      (** The address is currently quarantined: the application already
+          freed it. MineSweeper absorbs the free (Section 3). *)
+  | Size_overflow
+      (** [calloc count size] with [count * size] overflowing. *)
+
+let pp_error ppf = function
+  | Unknown_pointer addr -> Format.fprintf ppf "unknown pointer %#x" addr
+  | Double_free addr -> Format.fprintf ppf "double free of %#x" addr
+  | Size_overflow -> Format.fprintf ppf "allocation size overflow"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 module type S = sig
   type t
 
   type backend
   (** The underlying allocator's handle. *)
 
-  val create : ?config:Config.t -> ?threads:int -> Alloc.Machine.t -> t
+  val create :
+    ?config:Config.t -> ?threads:int -> ?obs:Obs.Registry.t ->
+    Alloc.Machine.t -> t
   (** Builds the layer over a fresh allocator (with the extra-byte
       modification). [threads] sizes the thread-local quarantine
-      buffers. *)
+      buffers. [obs] joins an existing metrics registry (the instance
+      registers its counters under the [ms.] prefix and raises
+      {!Obs.Registry.Duplicate} if another instance already claimed
+      them); by default a private registry is created. *)
 
   val malloc : t -> int -> int
   (** Allocate. May stall (allocation pause) when a sweep is struggling
       to keep up with the free rate (Section 5.7). *)
 
-  val free : t -> ?thread:int -> int -> unit
+  (** {1 Typed result API}
+
+      The primary entry points for the deallocation paths: outcomes a
+      drop-in deployment wants to observe (double frees absorbed,
+      wild frees rejected) are values, not logs. *)
+
+  val free_result : t -> ?thread:int -> int -> (unit, error) result
   (** Intercepted free: quarantine (zero, maybe unmap) rather than
-      recycle. Double frees of a quarantined address are idempotent. *)
+      recycle. [Error (Double_free _)] reports an absorbed double free
+      of a quarantined address (counted, logged — the program keeps
+      running); [Error (Unknown_pointer _)] reports a free of an
+      address the allocator never handed out (nothing is counted and
+      the heap is untouched). *)
+
+  val calloc_result : t -> int -> int -> (int, error) result
+  (** [calloc_result t count size]: zero-initialised array allocation;
+      [Error Size_overflow] when [count * size] overflows. *)
+
+  val realloc_result : t -> ?thread:int -> int -> int -> (int, error) result
+  (** [realloc_result t addr size] allocates, copies the overlapping
+      prefix and frees the old block through the quarantine.
+      [realloc t 0 size] behaves as [malloc]; size 0 behaves as [free]
+      and returns [Ok 0]. Quarantined or unknown [addr] is rejected
+      with the corresponding error before any allocation happens. *)
+
+  (** {1 Deprecated shims}
+
+      Pre-redesign entry points, kept so existing call sites compile;
+      new code should use the [_result] forms. *)
+
+  val free : t -> ?thread:int -> int -> unit
+  (** [free_result] with the double-free outcome absorbed silently
+      (the historical behaviour) and [Unknown_pointer] raised as
+      [Invalid_argument]. *)
 
   val calloc : t -> int -> int -> int
-  (** [calloc t count size]: zero-initialised array allocation. *)
+  (** [calloc_result] with [Size_overflow] collapsed to address 0. *)
 
   val realloc : t -> ?thread:int -> int -> int -> int
-  (** [realloc t addr size] allocates, copies the overlapping prefix and
-      frees the old block through the quarantine. [realloc t 0 size]
-      behaves as [malloc]; size 0 behaves as [free] and returns 0. *)
+  (** [realloc_result] with errors collapsed to address 0. *)
 
   val tick : t -> unit
   (** Complete any sweep whose scheduled completion time has passed, and
@@ -52,12 +103,30 @@ module type S = sig
 
   val machine : t -> Alloc.Machine.t
   val config : t -> Config.t
+
   val stats : t -> Stats.t
+  (** A point-in-time snapshot of the instance's counters. The
+      underlying values live in {!registry}; call again for fresh
+      numbers — the returned record never changes. *)
+
+  val reset_stats : t -> unit
+  (** Zero the instance's [ms.] counters (see {!Stats.reset}). *)
+
+  val registry : t -> Obs.Registry.t
+  (** The metrics registry the instance publishes through (the one
+      passed as [?obs], or the private one). *)
+
+  val trace_ring : t -> Obs.Trace_ring.t
+  (** The span ring holding both the event log's entries and the
+      per-sweep phase profiling spans ([mark]/[scan]/[purge]/
+      [quarantine]/[alloc_slow]). *)
+
   val quarantine_bytes : t -> int
   val quarantine_entries : t -> int
 
   val event_log : t -> Event_log.t
-  (** The instance's bounded debug/telemetry event ring. *)
+  (** The instance's bounded debug/telemetry event view (a decoder over
+      {!trace_ring}). *)
 
   val shadow_resident_bytes : t -> int
   (** Bytes of shadow-map backing currently resident (for memory

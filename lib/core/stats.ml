@@ -1,26 +1,135 @@
 type t = {
-  mutable frees_intercepted : int;
-  mutable double_frees : int;
-  mutable sweeps : int;
-  mutable swept_bytes : int;
-  mutable stw_rescanned_bytes : int;
-  mutable sweep_pages_skipped : int;
-  mutable sweep_pages_rescanned : int;
-  mutable summary_cache_bytes : int;
-  mutable releases : int;
-  mutable released_bytes : int;
-  mutable failed_frees : int;
-  mutable unmapped_allocations : int;
-  mutable unmapped_bytes : int;
-  mutable stw_pauses : int;
-  mutable stw_cycles : int;
-  mutable alloc_pauses : int;
-  mutable alloc_pause_cycles : int;
-  mutable peak_quarantine_bytes : int;
-  mutable uaf_prevented : int;
+  frees_intercepted : int;
+  double_frees : int;
+  sweeps : int;
+  swept_bytes : int;
+  stw_rescanned_bytes : int;
+  sweep_pages_skipped : int;
+  sweep_pages_rescanned : int;
+  summary_cache_bytes : int;
+  releases : int;
+  released_bytes : int;
+  failed_frees : int;
+  unmapped_allocations : int;
+  unmapped_bytes : int;
+  stw_pauses : int;
+  stw_cycles : int;
+  alloc_pauses : int;
+  alloc_pause_cycles : int;
+  peak_quarantine_bytes : int;
+  uaf_prevented : int;
 }
 
-let create () =
+let prefix = "ms."
+
+module Live = struct
+  type t = {
+    frees_intercepted : Obs.Registry.counter;
+    double_frees : Obs.Registry.counter;
+    sweeps : Obs.Registry.counter;
+    swept_bytes : Obs.Registry.counter;
+    stw_rescanned_bytes : Obs.Registry.counter;
+    sweep_pages_skipped : Obs.Registry.counter;
+    sweep_pages_rescanned : Obs.Registry.counter;
+    summary_cache_bytes : Obs.Registry.gauge;
+    releases : Obs.Registry.counter;
+    released_bytes : Obs.Registry.counter;
+    failed_frees : Obs.Registry.counter;
+    unmapped_allocations : Obs.Registry.counter;
+    unmapped_bytes : Obs.Registry.counter;
+    stw_pauses : Obs.Registry.counter;
+    stw_cycles : Obs.Registry.counter;
+    alloc_pauses : Obs.Registry.counter;
+    alloc_pause_cycles : Obs.Registry.counter;
+    peak_quarantine_bytes : Obs.Registry.gauge;
+    uaf_prevented : Obs.Registry.counter;
+  }
+
+  let create reg =
+    let c name = Obs.Registry.counter reg (prefix ^ name) in
+    let g name = Obs.Registry.gauge reg (prefix ^ name) in
+    {
+      frees_intercepted = c "frees_intercepted";
+      double_frees = c "double_frees";
+      sweeps = c "sweeps";
+      swept_bytes = c "swept_bytes";
+      stw_rescanned_bytes = c "stw_rescanned_bytes";
+      sweep_pages_skipped = c "sweep_pages_skipped";
+      sweep_pages_rescanned = c "sweep_pages_rescanned";
+      summary_cache_bytes = g "summary_cache_bytes";
+      releases = c "releases";
+      released_bytes = c "released_bytes";
+      failed_frees = c "failed_frees";
+      unmapped_allocations = c "unmapped_allocations";
+      unmapped_bytes = c "unmapped_bytes";
+      stw_pauses = c "stw_pauses";
+      stw_cycles = c "stw_cycles";
+      alloc_pauses = c "alloc_pauses";
+      alloc_pause_cycles = c "alloc_pause_cycles";
+      peak_quarantine_bytes = g "peak_quarantine_bytes";
+      uaf_prevented = c "uaf_prevented";
+    }
+end
+
+let snapshot (l : Live.t) =
+  let c = Obs.Registry.Counter.value in
+  let g = Obs.Registry.Gauge.value in
+  {
+    frees_intercepted = c l.Live.frees_intercepted;
+    double_frees = c l.Live.double_frees;
+    sweeps = c l.Live.sweeps;
+    swept_bytes = c l.Live.swept_bytes;
+    stw_rescanned_bytes = c l.Live.stw_rescanned_bytes;
+    sweep_pages_skipped = c l.Live.sweep_pages_skipped;
+    sweep_pages_rescanned = c l.Live.sweep_pages_rescanned;
+    summary_cache_bytes = g l.Live.summary_cache_bytes;
+    releases = c l.Live.releases;
+    released_bytes = c l.Live.released_bytes;
+    failed_frees = c l.Live.failed_frees;
+    unmapped_allocations = c l.Live.unmapped_allocations;
+    unmapped_bytes = c l.Live.unmapped_bytes;
+    stw_pauses = c l.Live.stw_pauses;
+    stw_cycles = c l.Live.stw_cycles;
+    alloc_pauses = c l.Live.alloc_pauses;
+    alloc_pause_cycles = c l.Live.alloc_pause_cycles;
+    peak_quarantine_bytes = g l.Live.peak_quarantine_bytes;
+    uaf_prevented = c l.Live.uaf_prevented;
+  }
+
+(* Reset goes through the same handle record as snapshot: a counter
+   added to one and forgotten in the other fails the completeness test
+   rather than silently surviving resets. *)
+let reset (l : Live.t) =
+  let handles =
+    [
+      `C l.Live.frees_intercepted;
+      `C l.Live.double_frees;
+      `C l.Live.sweeps;
+      `C l.Live.swept_bytes;
+      `C l.Live.stw_rescanned_bytes;
+      `C l.Live.sweep_pages_skipped;
+      `C l.Live.sweep_pages_rescanned;
+      `G l.Live.summary_cache_bytes;
+      `C l.Live.releases;
+      `C l.Live.released_bytes;
+      `C l.Live.failed_frees;
+      `C l.Live.unmapped_allocations;
+      `C l.Live.unmapped_bytes;
+      `C l.Live.stw_pauses;
+      `C l.Live.stw_cycles;
+      `C l.Live.alloc_pauses;
+      `C l.Live.alloc_pause_cycles;
+      `G l.Live.peak_quarantine_bytes;
+      `C l.Live.uaf_prevented;
+    ]
+  in
+  List.iter
+    (function
+      | `C c -> Obs.Registry.Counter.reset c
+      | `G g -> Obs.Registry.Gauge.set g 0)
+    handles
+
+let zero =
   {
     frees_intercepted = 0;
     double_frees = 0;
@@ -42,6 +151,34 @@ let create () =
     peak_quarantine_bytes = 0;
     uaf_prevented = 0;
   }
+
+let to_fields t =
+  [
+    ("frees_intercepted", t.frees_intercepted);
+    ("double_frees", t.double_frees);
+    ("sweeps", t.sweeps);
+    ("swept_bytes", t.swept_bytes);
+    ("stw_rescanned_bytes", t.stw_rescanned_bytes);
+    ("sweep_pages_skipped", t.sweep_pages_skipped);
+    ("sweep_pages_rescanned", t.sweep_pages_rescanned);
+    ("summary_cache_bytes", t.summary_cache_bytes);
+    ("releases", t.releases);
+    ("released_bytes", t.released_bytes);
+    ("failed_frees", t.failed_frees);
+    ("unmapped_allocations", t.unmapped_allocations);
+    ("unmapped_bytes", t.unmapped_bytes);
+    ("stw_pauses", t.stw_pauses);
+    ("stw_cycles", t.stw_cycles);
+    ("alloc_pauses", t.alloc_pauses);
+    ("alloc_pause_cycles", t.alloc_pause_cycles);
+    ("peak_quarantine_bytes", t.peak_quarantine_bytes);
+    ("uaf_prevented", t.uaf_prevented);
+  ]
+
+let field_names = List.map fst (to_fields zero)
+
+let registered_names =
+  List.sort String.compare (List.map (fun n -> prefix ^ n) field_names)
 
 let pp ppf t =
   Format.fprintf ppf

@@ -1,40 +1,100 @@
-(** Counters published by a MineSweeper instance. *)
+(** Counters published by a MineSweeper instance.
+
+    Redesigned over the {!Obs} registry: the counters live as typed
+    registry handles ({!Live.t}) that the instance increments on its hot
+    paths, and {!t} is a plain read-only snapshot taken from them. Every
+    consumer — result tables, the CLI, the metrics export — reads the
+    same registry, so a counter cannot exist in one view and be missing
+    from another ({!to_fields} vs {!registered_names} is test-enforced). *)
 
 type t = {
-  mutable frees_intercepted : int;
-  mutable double_frees : int;
-  mutable sweeps : int;
-  mutable swept_bytes : int;
+  frees_intercepted : int;
+  double_frees : int;
+  sweeps : int;
+  swept_bytes : int;
       (** memory actually scanned across all marking phases, the
           stop-the-world dirty re-scans included; under the incremental
           sweep mode, clean pages served from the summary cache do not
           count *)
-  mutable stw_rescanned_bytes : int;
+  stw_rescanned_bytes : int;
       (** the share of {!swept_bytes} scanned inside stop-the-world
           dirty-page re-scans (mostly concurrent mode), kept separate so
           pause work stays distinguishable from background marking *)
-  mutable sweep_pages_skipped : int;
+  sweep_pages_skipped : int;
       (** incremental mode: clean pages whose cached pointer summary was
           replayed instead of rescanned *)
-  mutable sweep_pages_rescanned : int;
+  sweep_pages_rescanned : int;
       (** incremental mode: pages rescanned because they were written
           (or decommitted/protected/remapped) since the previous sweep *)
-  mutable summary_cache_bytes : int;
+  summary_cache_bytes : int;
       (** current footprint of the per-page pointer-summary cache
           (gauge, refreshed after every incremental marking phase) *)
-  mutable releases : int;  (** allocations recycled after a clean sweep *)
-  mutable released_bytes : int;
-  mutable failed_frees : int;  (** release attempts blocked by a mark *)
-  mutable unmapped_allocations : int;
-  mutable unmapped_bytes : int;
-  mutable stw_pauses : int;
-  mutable stw_cycles : int;
-  mutable alloc_pauses : int;
-  mutable alloc_pause_cycles : int;
-  mutable peak_quarantine_bytes : int;
-  mutable uaf_prevented : int;
+  releases : int;  (** allocations recycled after a clean sweep *)
+  released_bytes : int;
+  failed_frees : int;  (** release attempts blocked by a mark *)
+  unmapped_allocations : int;
+  unmapped_bytes : int;
+  stw_pauses : int;
+  stw_cycles : int;
+  alloc_pauses : int;
+  alloc_pause_cycles : int;
+  peak_quarantine_bytes : int;  (** high-watermark gauge *)
+  uaf_prevented : int;
       (** accesses to quarantined memory observed by the checker *)
 }
 
-val create : unit -> t
+(** The live, registry-backed side: one handle per counter above,
+    registered under the [ms.] prefix. Mutated only by {!Instance}. *)
+module Live : sig
+  type t = {
+    frees_intercepted : Obs.Registry.counter;
+    double_frees : Obs.Registry.counter;
+    sweeps : Obs.Registry.counter;
+    swept_bytes : Obs.Registry.counter;
+    stw_rescanned_bytes : Obs.Registry.counter;
+    sweep_pages_skipped : Obs.Registry.counter;
+    sweep_pages_rescanned : Obs.Registry.counter;
+    summary_cache_bytes : Obs.Registry.gauge;
+    releases : Obs.Registry.counter;
+    released_bytes : Obs.Registry.counter;
+    failed_frees : Obs.Registry.counter;
+    unmapped_allocations : Obs.Registry.counter;
+    unmapped_bytes : Obs.Registry.counter;
+    stw_pauses : Obs.Registry.counter;
+    stw_cycles : Obs.Registry.counter;
+    alloc_pauses : Obs.Registry.counter;
+    alloc_pause_cycles : Obs.Registry.counter;
+    peak_quarantine_bytes : Obs.Registry.gauge;
+    uaf_prevented : Obs.Registry.counter;
+  }
+
+  val create : Obs.Registry.t -> t
+  (** Register every counter in the registry (names [ms.<field>]).
+      Raises {!Obs.Registry.Duplicate} on a registry that already holds
+      a MineSweeper instance's counters. *)
+end
+
+val prefix : string
+(** ["ms."] — the registry namespace of the counters above. *)
+
+val snapshot : Live.t -> t
+
+val reset : Live.t -> unit
+(** Zero every counter and gauge — no counter survives (test-enforced
+    against the field set). *)
+
+val zero : t
+(** The all-zero snapshot (what {!snapshot} returns right after
+    {!reset}). *)
+
+val to_fields : t -> (string * int) list
+(** Every field as [(name, value)], in declaration order. The name set
+    is exactly {!field_names}. *)
+
+val field_names : string list
+
+val registered_names : string list
+(** The registry names {!Live.create} claims: [ms.<field>] for every
+    field of {!t}, sorted. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,270 @@
+let metrics_schema = "msweep-metrics-v1"
+let spans_schema = "msweep-spans-v1"
+
+(* Metric names and span labels are identifier-like by convention, but
+   escape the JSON-significant characters anyway. *)
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    attrs;
+  Buffer.add_char b '}'
+
+let add_metric_line b name (metric : Registry.metric) =
+  let scalar kind v =
+    Buffer.add_string b "{\"metric\":";
+    add_json_string b name;
+    Buffer.add_string b ",\"type\":\"";
+    Buffer.add_string b kind;
+    Buffer.add_string b "\",\"value\":";
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_string b "}\n"
+  in
+  match metric with
+  | Registry.Counter c -> scalar "counter" (Registry.Counter.value c)
+  | Registry.Derived_counter fn -> scalar "counter" (fn ())
+  | Registry.Gauge g -> scalar "gauge" (Registry.Gauge.value g)
+  | Registry.Derived_gauge fn -> scalar "gauge" (fn ())
+  | Registry.Histogram h ->
+    Buffer.add_string b "{\"metric\":";
+    add_json_string b name;
+    Buffer.add_string b ",\"type\":\"histogram\",\"count\":";
+    Buffer.add_string b (string_of_int (Registry.Histogram.count h));
+    Buffer.add_string b ",\"sum\":";
+    Buffer.add_string b (string_of_int (Registry.Histogram.sum h));
+    Buffer.add_string b ",\"buckets\":[";
+    List.iteri
+      (fun i (lo, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" lo n))
+      (Registry.Histogram.buckets h);
+    Buffer.add_string b "]}\n"
+
+let metrics_to_string reg =
+  let ms = Registry.metrics reg in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"metrics\":%d}\n" metrics_schema
+       (List.length ms));
+  List.iter (fun (name, m) -> add_metric_line b name m) ms;
+  Buffer.contents b
+
+let spans_to_string ring =
+  let spans = Trace_ring.spans ring in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"retained\":%d,\"emitted\":%d}\n"
+       spans_schema (List.length spans) (Trace_ring.emitted ring));
+  List.iter
+    (fun (s : Trace_ring.span) ->
+      Buffer.add_string b (Printf.sprintf "{\"span\":%d,\"phase\":\"%s\"" s.seq
+        (Trace_ring.phase_name s.phase));
+      Buffer.add_string b ",\"label\":";
+      add_json_string b s.label;
+      Buffer.add_string b
+        (Printf.sprintf ",\"start\":%d,\"end\":%d,\"bytes\":%d,\"attrs\":"
+           s.t_start s.t_end s.bytes);
+      add_attrs b s.attrs;
+      Buffer.add_string b "}\n")
+    spans;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal reader for the subset above                                 *)
+
+type json =
+  | J_int of int
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | _ -> fail "unsupported escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_list []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_list (items [])
+      end
+    | Some ('-' | '0' .. '9') -> J_int (parse_int ())
+    | _ -> fail "unexpected character"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | J_obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function J_int i -> Some i | _ -> None
+let to_string = function J_str s -> Some s | _ -> None
+
+let parse_metrics contents =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+  in
+  match lines with
+  | [] -> Error "empty export"
+  | header :: rest -> (
+    match parse_line header with
+    | Error e -> Error ("header: " ^ e)
+    | Ok h -> (
+      match (member "schema" h, member "metrics" h) with
+      | Some (J_str s), _ when s <> metrics_schema ->
+        Error ("unexpected schema " ^ s)
+      | Some (J_str _), Some (J_int count) ->
+        if count <> List.length rest then
+          Error
+            (Printf.sprintf "header advertises %d metrics, found %d" count
+               (List.length rest))
+        else
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest -> (
+              match parse_line line with
+              | Error e -> Error e
+              | Ok j -> (
+                match (member "metric" j, member "type" j) with
+                | Some (J_str name), Some (J_str "histogram") -> (
+                  match member "count" j with
+                  | Some (J_int c) -> go ((name, c) :: acc) rest
+                  | _ -> Error (name ^ ": histogram without count"))
+                | Some (J_str name), Some (J_str _) -> (
+                  match member "value" j with
+                  | Some (J_int v) -> go ((name, v) :: acc) rest
+                  | _ -> Error (name ^ ": missing value"))
+                | _ -> Error "line without metric/type"))
+          in
+          go [] rest
+      | _ -> Error "malformed header"))

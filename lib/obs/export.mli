@@ -1,0 +1,62 @@
+(** Deterministic JSONL export of a registry and a trace ring.
+
+    One schema for everything that counts: experiments, report tables
+    and the check.sh gates all read these lines. Every value is an
+    integer and every timestamp comes from the simulated clock, so two
+    identical runs export byte-identical files.
+
+    Metrics ([metrics_schema]):
+    {v
+    {"schema":"msweep-metrics-v1","metrics":N}
+    {"metric":"ms.sweeps","type":"counter","value":12}
+    {"metric":"ms.summary_cache_bytes","type":"gauge","value":3456}
+    {"metric":"ms.sweep_duration_cycles","type":"histogram","count":3,
+     "sum":900,"buckets":[[256,2],[512,1]]}
+    v}
+    Lines are sorted by metric name; derived metrics export as their
+    underlying kind. The header's [metrics] field equals the number of
+    metric lines that follow (a truncation check).
+
+    Spans ([spans_schema]):
+    {v
+    {"schema":"msweep-spans-v1","retained":N,"emitted":M}
+    {"span":7,"phase":"mark","label":"mark-full","start":10,"end":42,
+     "bytes":8192,"attrs":{"sweep":2}}
+    v} *)
+
+val metrics_schema : string
+val spans_schema : string
+
+val metrics_to_string : Registry.t -> string
+(** Header line plus one line per metric, each ["\n"]-terminated. *)
+
+val spans_to_string : Trace_ring.t -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — binary mode, so exports are
+    byte-identical across platforms. *)
+
+(** {1 Reading the format back}
+
+    A minimal parser for exactly the JSON subset the exporter emits
+    (objects, arrays, integers, strings without escapes) — enough for
+    round-trip tests and downstream consumers inside this repo. *)
+
+type json =
+  | J_int of int
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+val parse_line : string -> (json, string) result
+
+val member : string -> json -> json option
+(** [member key (J_obj ...)] — field lookup; [None] on other shapes. *)
+
+val to_int : json -> int option
+val to_string : json -> string option
+
+val parse_metrics : string -> ((string * int) list, string) result
+(** Parse a full metrics export back into [(name, scalar)] pairs —
+    counters/gauges yield their value, histograms their observation
+    count. Validates the header line and the advertised line count. *)

@@ -1,0 +1,129 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+let log2_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Derived_counter of (unit -> int)
+  | Derived_gauge of (unit -> int)
+
+(* Insertion-ordered assoc (reversed); reads sort by name, so the
+   export order is independent of registration order. *)
+type t = { mutable entries : (string * metric) list }
+
+exception Duplicate of string
+
+let create () = { entries = [] }
+
+let register t name metric =
+  if List.mem_assoc name t.entries then raise (Duplicate name);
+  t.entries <- (name, metric) :: t.entries
+
+let counter t name =
+  let c = { c_name = name; c_value = 0 } in
+  register t name (Counter c);
+  c
+
+let gauge t name =
+  let g = { g_name = name; g_value = 0 } in
+  register t name (Gauge g);
+  g
+
+let histogram t name =
+  let h =
+    { h_name = name; h_buckets = Array.make log2_buckets 0; h_count = 0;
+      h_sum = 0 }
+  in
+  register t name (Histogram h);
+  h
+
+let derive_counter t name fn = register t name (Derived_counter fn)
+let derive_gauge t name fn = register t name (Derived_gauge fn)
+
+let metrics t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t.entries
+
+let names t = List.map fst (metrics t)
+let mem t name = List.mem_assoc name t.entries
+let find t name = List.assoc_opt name t.entries
+
+let read t name =
+  match find t name with
+  | None -> None
+  | Some (Counter c) -> Some c.c_value
+  | Some (Gauge g) -> Some g.g_value
+  | Some (Histogram h) -> Some h.h_count
+  | Some (Derived_counter fn) | Some (Derived_gauge fn) -> Some (fn ())
+
+let reset t =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0
+      | Histogram h ->
+        Array.fill h.h_buckets 0 log2_buckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0
+      | Derived_counter _ | Derived_gauge _ -> ())
+    t.entries
+
+module Counter = struct
+  let incr c n =
+    assert (n >= 0);
+    c.c_value <- c.c_value + n
+
+  let reset c = c.c_value <- 0
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  let set g v = g.g_value <- v
+  let set_max g v = if v > g.g_value then g.g_value <- v
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  let bucket_count = log2_buckets
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else begin
+      let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+      min (log2_buckets - 1) (go v 0)
+    end
+
+  let lower_bound i = if i = 0 then 0 else 1 lsl i
+
+  let observe h v =
+    let v = max 0 v in
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+
+  let buckets h =
+    let acc = ref [] in
+    for i = log2_buckets - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then
+        acc := (lower_bound i, h.h_buckets.(i)) :: !acc
+    done;
+    !acc
+
+  let name h = h.h_name
+end

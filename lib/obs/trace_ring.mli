@@ -1,0 +1,70 @@
+(** Bounded structured trace ring: the span store behind the stack's
+    tracing.
+
+    Spans carry a phase tag (the five cost centres of a sweeping
+    allocator), a free-form label, simulated-clock timestamps, the
+    cost-model bytes the phase charged, and small integer attributes.
+    The ring is fixed-size: once full, each emission evicts the oldest
+    retained span, so tracing can stay on in production configurations.
+    An instantaneous event is a span with [t_start = t_end]. *)
+
+type phase =
+  | Mark  (** marking phase of a sweep (full or incremental) *)
+  | Scan  (** stop-the-world dirty-page re-scan *)
+  | Purge  (** post-sweep allocator purge *)
+  | Quarantine  (** quarantine traffic: free intercepts, release phase *)
+  | Alloc_slow  (** allocation slow path (allocation pauses) *)
+
+val phase_name : phase -> string
+val phase_of_name : string -> phase option
+
+type span = {
+  seq : int;  (** emission index, monotonically increasing, never reused *)
+  phase : phase;
+  label : string;
+  t_start : int;  (** simulated cycles *)
+  t_end : int;
+  bytes : int;  (** cost-model bytes charged by the phase; 0 if n/a *)
+  attrs : (string * int) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 1024 spans. *)
+
+val capacity : t -> int
+
+val emit :
+  t ->
+  phase:phase ->
+  label:string ->
+  t_start:int ->
+  t_end:int ->
+  ?bytes:int ->
+  ?attrs:(string * int) list ->
+  unit ->
+  unit
+
+type pending
+(** An entered-but-not-exited span (the begin half of a begin/end
+    profiling hook). *)
+
+val enter : now:int -> phase -> string -> pending
+
+val exit :
+  t -> pending -> now:int -> ?bytes:int -> ?attrs:(string * int) list ->
+  unit -> unit
+(** Complete a pending span and emit it. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val emitted : t -> int
+(** Total spans ever emitted (≥ retained once the ring wraps). *)
+
+val retained : t -> int
+
+val wrapped : t -> bool
+(** Whether eviction has discarded any span yet — when [false], [spans]
+    is the complete history of the run. *)

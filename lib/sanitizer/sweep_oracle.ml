@@ -34,7 +34,9 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
   let ms = Instance.create ~config ~threads:1 machine in
   let je = Instance.jemalloc ms in
   let registry = Registry.create je in
-  let stats = Instance.stats ms in
+  (* [Instance.stats] returns a point-in-time snapshot: re-read at every
+     use instead of freezing the build-time zeros. *)
+  let stats () = Instance.stats ms in
   let audit_findings = ref [] in
   if audit then
     Invariants.attach ms (fun fs -> audit_findings := !audit_findings @ fs);
@@ -46,7 +48,7 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
   let allocs = ref 0 in
   let frees = ref 0 in
   let completed_sweeps () =
-    stats.Minesweeper.Stats.sweeps
+    (stats ()).Minesweeper.Stats.sweeps
     - if Instance.sweep_in_progress ms then 1 else 0
   in
   let last_completed = ref 0 in
@@ -181,7 +183,7 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
     ops = Array.length trace.Trace.ops;
     allocs = !allocs;
     frees = !frees;
-    releases = stats.Minesweeper.Stats.releases;
+    releases = (stats ()).Minesweeper.Stats.releases;
     sweeps = completed_sweeps ();
     soundness = List.rev !soundness;
     precision = List.rev !precision;

@@ -262,3 +262,15 @@ let iter_soft_dirty_pages t f =
         f (i * page_size)
       | _ -> ())
     t.pages
+
+(* Publish the address-space accounting as read-through metrics: the
+   registry consults these at export time, so the hot paths above carry
+   no extra bookkeeping. *)
+let attach_obs t reg =
+  Obs.Registry.derive_gauge reg "vmem.committed_bytes" (fun () ->
+      committed_bytes t);
+  Obs.Registry.derive_gauge reg "vmem.mapped_bytes" (fun () -> mapped_bytes t);
+  Obs.Registry.derive_gauge reg "vmem.readable_bytes" (fun () ->
+      readable_bytes t);
+  Obs.Registry.derive_counter reg "vmem.scan_generation" (fun () ->
+      generation t)

@@ -142,3 +142,9 @@ val iter_soft_dirty_pages : t -> (int -> unit) -> unit
     protected [No_access] (e.g. unmapped-in-quarantine allocations) are
     skipped: a re-scan has nothing to read there, so counting them would
     overstate the stop-the-world pause. *)
+
+val attach_obs : t -> Obs.Registry.t -> unit
+(** Register read-through metrics ([vmem.committed_bytes],
+    [vmem.mapped_bytes], [vmem.readable_bytes], [vmem.scan_generation])
+    in the registry. Raises {!Obs.Registry.Duplicate} if another address
+    space already claimed them there. *)

@@ -77,13 +77,14 @@ let static_rss = 3 * 1024 * 1024
 exception Out_of_memory_budget
 
 let run ?(trace_points = 240) ?(ops_scale = 1.0) ?(rss_limit = 768 * 1024 * 1024)
-    profile scheme =
+    ?on_build profile scheme =
   let profile =
     if ops_scale = 1.0 then profile else Profile.scale_ops ops_scale profile
   in
   let machine = Alloc.Machine.create () in
   let mem = machine.Alloc.Machine.mem in
   let stack = Harness.build scheme ~threads:profile.Profile.threads machine in
+  (match on_build with Some f -> f stack | None -> ());
   List.iter
     (fun (base, size) -> Vmem.map mem ~addr:base ~len:size)
     Layout.root_regions;

@@ -36,13 +36,16 @@ val run :
   ?trace_points:int ->
   ?ops_scale:float ->
   ?rss_limit:int ->
+  ?on_build:(Harness.t -> unit) ->
   Profile.t ->
   Harness.scheme ->
   result
 (** Run one benchmark under one scheme. Deterministic for a given
     profile seed. [ops_scale] shortens traces for quick runs; a run whose
     resident set exceeds [rss_limit] (default 768 MiB) is killed and
-    returned with [oom_killed] set. *)
+    returned with [oom_killed] set. [on_build] receives the freshly
+    built stack before any operation runs — the hook for capturing its
+    metrics registry and trace ring for post-run export. *)
 
 val slowdown : baseline:result -> result -> float
 val memory_overhead : baseline:result -> result -> float

@@ -17,34 +17,39 @@ module Scudo_ms = Minesweeper.Instance.Make (Alloc.Backends.Scudo_backend)
 (* ...and over the in-band-metadata dlmalloc model (Section 2 footnote). *)
 module Dl_ms = Minesweeper.Instance.Make (Alloc.Backends.Dlmalloc_backend)
 
+(* Scheme names derive from the canonical preset table in
+   {!Minesweeper.Config}: one place ties a configuration to a name. *)
+let ms_suffix config =
+  match Minesweeper.Config.preset_name config with
+  | Some "default" -> ""
+  | Some (("mostly" | "incremental" | "incremental-mostly") as preset) ->
+    "-" ^ preset
+  | Some _ | None -> "-variant"
+
 let scheme_name = function
   | Baseline -> "baseline"
-  | Mine_sweeper config ->
-    if config = Minesweeper.Config.default then "minesweeper"
-    else if config = Minesweeper.Config.mostly_concurrent then
-      "minesweeper-mostly"
-    else if config = Minesweeper.Config.incremental then
-      "minesweeper-incremental"
-    else if config = Minesweeper.Config.incremental_mostly then
-      "minesweeper-incremental-mostly"
-    else "minesweeper-variant"
+  | Mine_sweeper config -> "minesweeper" ^ ms_suffix config
   | Mark_us -> "markus"
   | Ff_malloc -> "ffmalloc"
   | Cr_count -> "crcount"
   | Dl_baseline -> "dlmalloc"
   | Dl_sweeper config ->
-    if config = Minesweeper.Config.default then "dlmalloc-minesweeper"
+    if Minesweeper.Config.preset_name config = Some "default" then
+      "dlmalloc-minesweeper"
     else "dlmalloc-minesweeper-variant"
   | P_sweeper -> "psweeper"
   | Dang_san -> "dangsan"
   | Scudo_baseline -> "scudo"
   | Scudo_sweeper config ->
-    if config = Minesweeper.Config.default then "scudo-minesweeper"
+    if Minesweeper.Config.preset_name config = Some "default" then
+      "scudo-minesweeper"
     else "scudo-minesweeper-variant"
 
 type t = {
   scheme : string;
   machine : Alloc.Machine.t;
+  obs : Obs.Registry.t option;
+  trace : Obs.Trace_ring.t option;
   malloc : int -> int;
   free : thread:int -> int -> unit;
   tick : unit -> unit;
@@ -80,6 +85,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Alloc.Jemalloc.malloc je;
       free = (fun ~thread:_ addr -> Alloc.Jemalloc.free je addr);
       tick =
@@ -103,11 +110,21 @@ let build scheme ~threads machine =
     }
   | Mine_sweeper config ->
     let ms = Minesweeper.Instance.create ~config ~threads machine in
-    let stats = Minesweeper.Instance.stats ms in
+    (* The instance registers [ms.]/[vmem.] metrics at creation; the
+       allocator joins the same registry here so one export covers the
+       whole stack. *)
+    Alloc.Jemalloc.attach_obs
+      (Minesweeper.Instance.jemalloc ms)
+      (Minesweeper.Instance.registry ms);
+    (* [Instance.stats] is a point-in-time snapshot: take a fresh one at
+       every read rather than holding the build-time (all-zero) one. *)
+    let stats () = Minesweeper.Instance.stats ms in
     let factor = if config.Minesweeper.Config.quarantining then 1.0 else 0.0 in
     {
       scheme = scheme_name scheme;
       machine;
+      obs = Some (Minesweeper.Instance.registry ms);
+      trace = Some (Minesweeper.Instance.trace_ring ms);
       malloc = Minesweeper.Instance.malloc ms;
       free = (fun ~thread addr -> Minesweeper.Instance.free ms ~thread addr);
       tick = (fun () -> Minesweeper.Instance.tick ms);
@@ -121,29 +138,30 @@ let build scheme ~threads machine =
              incremental mode's per-page pointer-summary cache *)
           Minesweeper.Instance.shadow_resident_bytes ms
           + (quarantine_entry_overhead * Minesweeper.Instance.quarantine_entries ms)
-          + stats.Minesweeper.Stats.summary_cache_bytes);
+          + (stats ()).Minesweeper.Stats.summary_cache_bytes);
       cold_penalty = cold_penalty_fn machine factor;
       is_protected_addr = (fun addr -> Minesweeper.Instance.is_quarantined ms addr);
       tolerates_double_free = config.Minesweeper.Config.quarantining;
       on_pointer_write = no_pointer_tracking;
-      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
-      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      sweeps = (fun () -> (stats ()).Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> (stats ()).Minesweeper.Stats.failed_frees);
       extra =
         (fun () ->
+          let s = stats () in
           [
-            ("double_frees", float_of_int stats.Minesweeper.Stats.double_frees);
-            ("stw_pauses", float_of_int stats.Minesweeper.Stats.stw_pauses);
-            ("alloc_pauses", float_of_int stats.Minesweeper.Stats.alloc_pauses);
-            ("unmapped", float_of_int stats.Minesweeper.Stats.unmapped_allocations);
-            ("swept_bytes", float_of_int stats.Minesweeper.Stats.swept_bytes);
+            ("double_frees", float_of_int s.Minesweeper.Stats.double_frees);
+            ("stw_pauses", float_of_int s.Minesweeper.Stats.stw_pauses);
+            ("alloc_pauses", float_of_int s.Minesweeper.Stats.alloc_pauses);
+            ("unmapped", float_of_int s.Minesweeper.Stats.unmapped_allocations);
+            ("swept_bytes", float_of_int s.Minesweeper.Stats.swept_bytes);
             ("stw_rescanned_bytes",
-             float_of_int stats.Minesweeper.Stats.stw_rescanned_bytes);
+             float_of_int s.Minesweeper.Stats.stw_rescanned_bytes);
             ("pages_skipped",
-             float_of_int stats.Minesweeper.Stats.sweep_pages_skipped);
+             float_of_int s.Minesweeper.Stats.sweep_pages_skipped);
             ("pages_rescanned",
-             float_of_int stats.Minesweeper.Stats.sweep_pages_rescanned);
+             float_of_int s.Minesweeper.Stats.sweep_pages_rescanned);
             ("summary_cache_bytes",
-             float_of_int stats.Minesweeper.Stats.summary_cache_bytes);
+             float_of_int s.Minesweeper.Stats.summary_cache_bytes);
           ]);
     }
   | Mark_us ->
@@ -151,6 +169,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Markus.malloc mk;
       free = (fun ~thread:_ addr -> Markus.free mk addr);
       tick = (fun () -> Markus.tick mk);
@@ -173,6 +193,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Alloc.Scudo.malloc sc;
       free = (fun ~thread:_ addr -> Alloc.Scudo.free sc addr);
       tick =
@@ -198,11 +220,13 @@ let build scheme ~threads machine =
     }
   | Scudo_sweeper config ->
     let ms = Scudo_ms.create ~config ~threads machine in
-    let stats = Scudo_ms.stats ms in
+    let stats () = Scudo_ms.stats ms in
     let factor = if config.Minesweeper.Config.quarantining then 1.0 else 0.0 in
     {
       scheme = scheme_name scheme;
       machine;
+      obs = Some (Scudo_ms.registry ms);
+      trace = Some (Scudo_ms.trace_ring ms);
       malloc = Scudo_ms.malloc ms;
       free = (fun ~thread addr -> Scudo_ms.free ms ~thread addr);
       tick = (fun () -> Scudo_ms.tick ms);
@@ -216,8 +240,8 @@ let build scheme ~threads machine =
       is_protected_addr = (fun addr -> Scudo_ms.is_quarantined ms addr);
       tolerates_double_free = config.Minesweeper.Config.quarantining;
       on_pointer_write = no_pointer_tracking;
-      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
-      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      sweeps = (fun () -> (stats ()).Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> (stats ()).Minesweeper.Stats.failed_frees);
       extra = (fun () -> []);
     }
   | Dl_baseline ->
@@ -225,6 +249,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Alloc.Dlmalloc.malloc dl;
       free = (fun ~thread:_ addr -> Alloc.Dlmalloc.free dl addr);
       tick = (fun () -> ());
@@ -246,10 +272,12 @@ let build scheme ~threads machine =
     }
   | Dl_sweeper config ->
     let ms = Dl_ms.create ~config ~threads machine in
-    let stats = Dl_ms.stats ms in
+    let stats () = Dl_ms.stats ms in
     {
       scheme = scheme_name scheme;
       machine;
+      obs = Some (Dl_ms.registry ms);
+      trace = Some (Dl_ms.trace_ring ms);
       malloc = Dl_ms.malloc ms;
       free = (fun ~thread addr -> Dl_ms.free ms ~thread addr);
       tick = (fun () -> Dl_ms.tick ms);
@@ -263,8 +291,8 @@ let build scheme ~threads machine =
       is_protected_addr = (fun addr -> Dl_ms.is_quarantined ms addr);
       tolerates_double_free = config.Minesweeper.Config.quarantining;
       on_pointer_write = no_pointer_tracking;
-      sweeps = (fun () -> stats.Minesweeper.Stats.sweeps);
-      failed_frees = (fun () -> stats.Minesweeper.Stats.failed_frees);
+      sweeps = (fun () -> (stats ()).Minesweeper.Stats.sweeps);
+      failed_frees = (fun () -> (stats ()).Minesweeper.Stats.failed_frees);
       extra = (fun () -> []);
     }
   | Cr_count ->
@@ -272,6 +300,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Ptrtrack.Crcount.malloc cr;
       free = (fun ~thread:_ addr -> Ptrtrack.Crcount.free cr addr);
       tick = (fun () -> ());
@@ -295,6 +325,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Ptrtrack.Psweeper.malloc ps;
       free = (fun ~thread:_ addr -> Ptrtrack.Psweeper.free ps addr);
       tick = (fun () -> Ptrtrack.Psweeper.tick ps);
@@ -321,6 +353,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Ptrtrack.Dangsan.malloc ds;
       free = (fun ~thread:_ addr -> Ptrtrack.Dangsan.free ds addr);
       tick = (fun () -> ());
@@ -344,6 +378,8 @@ let build scheme ~threads machine =
     {
       scheme = scheme_name scheme;
       machine;
+      obs = None;
+      trace = None;
       malloc = Ffmalloc.malloc ff;
       free = (fun ~thread:_ addr -> Ffmalloc.free ff addr);
       tick = (fun () -> ());

@@ -28,6 +28,13 @@ val scheme_name : scheme -> string
 type t = {
   scheme : string;
   machine : Alloc.Machine.t;
+  obs : Obs.Registry.t option;
+      (** the stack's metrics registry (MineSweeper schemes: the
+          instance's, with the allocator's and address space's
+          read-through metrics attached); [None] for stacks that keep no
+          registry *)
+  trace : Obs.Trace_ring.t option;
+      (** the stack's span ring (events + sweep-phase profiling) *)
   malloc : int -> int;
   free : thread:int -> int -> unit;
   tick : unit -> unit;

@@ -15,6 +15,7 @@ let () =
       Test_shadow.suite;
       Test_quarantine.suite;
       Test_config.suite;
+      Test_obs.suite;
       Test_instance.suite;
       Test_sweep_equiv.suite;
       Test_realloc.suite;

@@ -1,0 +1,395 @@
+(* Telemetry subsystem tests: registry semantics, trace-ring bounds,
+   export determinism, and the redesigned Stats / error APIs built on
+   top of them. *)
+
+module R = Obs.Registry
+module Ring = Obs.Trace_ring
+module Export = Obs.Export
+module I = Minesweeper.Instance
+module C = Minesweeper.Config
+module Stats = Minesweeper.Stats
+
+let fresh ?config () =
+  let machine = Alloc.Machine.create () in
+  List.iter
+    (fun (base, size) ->
+      Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+    Layout.root_regions;
+  (machine, I.create ?config machine)
+
+let churn ms n size =
+  for _ = 1 to n do
+    let p = I.malloc ms size in
+    I.free ms p
+  done;
+  I.drain ms
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+
+let test_histogram_buckets () =
+  let open R.Histogram in
+  Alcotest.(check int) "63 buckets" 63 bucket_count;
+  (* Bucket 0 absorbs v <= 1; bucket i covers [2^i, 2^(i+1)). *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (bucket_of v))
+    [
+      (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3);
+      (1023, 9); (1024, 10); (1025, 10); (1 lsl 40, 40); (max_int, 61);
+    ];
+  Alcotest.(check int) "lower_bound 0" 0 (lower_bound 0);
+  Alcotest.(check int) "lower_bound 1" 2 (lower_bound 1);
+  Alcotest.(check int) "lower_bound 10" 1024 (lower_bound 10);
+  (* Every representable bucket's lower bound maps back into that bucket
+     (bucket 62's lower bound, [1 lsl 62], overflows a 63-bit int). *)
+  for i = 0 to 61 do
+    Alcotest.(check int)
+      (Printf.sprintf "lower_bound/bucket_of round-trip %d" i)
+      i
+      (bucket_of (lower_bound i))
+  done
+
+let test_histogram_observe () =
+  let reg = R.create () in
+  let h = R.histogram reg "h" in
+  List.iter (R.Histogram.observe h) [ 0; 1; 3; 1024; -5 ];
+  Alcotest.(check int) "count" 5 (R.Histogram.count h);
+  (* -5 clamps to 0 before summing. *)
+  Alcotest.(check int) "sum" 1028 (R.Histogram.sum h);
+  Alcotest.(check (list (pair int int)))
+    "non-empty buckets, ascending"
+    [ (0, 3); (2, 1); (1024, 1) ]
+    (R.Histogram.buckets h)
+
+let test_registry_basics () =
+  let reg = R.create () in
+  let c = R.counter reg "b.count" in
+  let g = R.gauge reg "a.level" in
+  R.derive_gauge reg "c.derived" (fun () -> 7);
+  R.Counter.incr c 3;
+  R.Counter.incr c 2;
+  R.Gauge.set g 10;
+  R.Gauge.set_max g 4;
+  Alcotest.(check int) "counter accumulates" 5 (R.Counter.value c);
+  Alcotest.(check int) "set_max keeps high-watermark" 10 (R.Gauge.value g);
+  Alcotest.(check (list string))
+    "names sorted" [ "a.level"; "b.count"; "c.derived" ] (R.names reg);
+  Alcotest.(check (option int)) "read counter" (Some 5) (R.read reg "b.count");
+  Alcotest.(check (option int)) "read derived" (Some 7) (R.read reg "c.derived");
+  Alcotest.(check (option int)) "read missing" None (R.read reg "nope");
+  Alcotest.check_raises "duplicate name rejected" (R.Duplicate "b.count")
+    (fun () -> ignore (R.counter reg "b.count"));
+  R.reset reg;
+  Alcotest.(check (option int)) "counter zeroed" (Some 0) (R.read reg "b.count");
+  Alcotest.(check (option int)) "gauge zeroed" (Some 0) (R.read reg "a.level");
+  Alcotest.(check (option int))
+    "derived reads through reset" (Some 7) (R.read reg "c.derived")
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                         *)
+
+let emit_n ring n =
+  for i = 0 to n - 1 do
+    Ring.emit ring ~phase:Ring.Mark ~label:"m" ~t_start:i ~t_end:i ()
+  done
+
+let test_ring_overflow () =
+  let ring = Ring.create ~capacity:4 () in
+  emit_n ring 3;
+  Alcotest.(check bool) "not wrapped before capacity" false (Ring.wrapped ring);
+  emit_n ring 3;
+  Alcotest.(check int) "emitted counts evictions" 6 (Ring.emitted ring);
+  Alcotest.(check int) "retained capped at capacity" 4 (Ring.retained ring);
+  Alcotest.(check bool) "wrapped" true (Ring.wrapped ring);
+  Alcotest.(check (list int))
+    "oldest spans evicted, order preserved" [ 2; 3; 4; 5 ]
+    (List.map (fun s -> s.Ring.seq) (Ring.spans ring))
+
+let test_ring_enter_exit () =
+  let ring = Ring.create ~capacity:8 () in
+  let p = Ring.enter ~now:100 Ring.Scan "stw-rescan" in
+  Ring.exit ring p ~now:150 ~bytes:4096 ~attrs:[ ("sweep", 2) ] ();
+  match Ring.spans ring with
+  | [ s ] ->
+    Alcotest.(check int) "t_start" 100 s.Ring.t_start;
+    Alcotest.(check int) "t_end" 150 s.Ring.t_end;
+    Alcotest.(check int) "bytes" 4096 s.Ring.bytes;
+    Alcotest.(check string) "label" "stw-rescan" s.Ring.label;
+    Alcotest.(check (list (pair string int))) "attrs" [ ("sweep", 2) ]
+      s.Ring.attrs
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_phase_names () =
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %s round-trips" (Ring.phase_name phase))
+        true
+        (Ring.phase_of_name (Ring.phase_name phase) = Some phase))
+    [ Ring.Mark; Ring.Scan; Ring.Purge; Ring.Quarantine; Ring.Alloc_slow ];
+  Alcotest.(check bool) "unknown phase name" true
+    (Ring.phase_of_name "bogus" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+
+let test_metrics_roundtrip () =
+  let reg = R.create () in
+  let c = R.counter reg "ms.sweeps" in
+  let g = R.gauge reg "ms.cache_bytes" in
+  let h = R.histogram reg "ms.scan_bytes" in
+  R.derive_counter reg "alloc.mallocs" (fun () -> 41);
+  R.Counter.incr c 12;
+  R.Gauge.set g 3456;
+  List.iter (R.Histogram.observe h) [ 300; 600; 700 ];
+  let text = Export.metrics_to_string reg in
+  (match Export.parse_metrics text with
+  | Error e -> Alcotest.failf "parse_metrics: %s" e
+  | Ok pairs ->
+    Alcotest.(check (list (pair string int)))
+      "round-trip (histogram scalar = count)"
+      [
+        ("alloc.mallocs", 41); ("ms.cache_bytes", 3456); ("ms.scan_bytes", 3);
+        ("ms.sweeps", 12);
+      ]
+      pairs);
+  (* The header advertises the exact line count: truncation is detected. *)
+  let truncated =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < 3) (String.split_on_char '\n' text))
+    ^ "\n"
+  in
+  Alcotest.(check bool) "truncated export rejected" true
+    (Result.is_error (Export.parse_metrics truncated))
+
+let test_spans_export () =
+  let ring = Ring.create ~capacity:8 () in
+  Ring.emit ring ~phase:Ring.Mark ~label:"mark-full" ~t_start:10 ~t_end:42
+    ~bytes:8192 ~attrs:[ ("sweep", 2) ] ();
+  let text = Export.spans_to_string ring in
+  match String.split_on_char '\n' (String.trim text) with
+  | [ header; span ] ->
+    (match Export.parse_line header with
+    | Ok j ->
+      Alcotest.(check (option string)) "schema" (Some "msweep-spans-v1")
+        (Option.bind (Export.member "schema" j) Export.to_string);
+      Alcotest.(check (option int)) "retained" (Some 1)
+        (Option.bind (Export.member "retained" j) Export.to_int)
+    | Error e -> Alcotest.failf "header: %s" e);
+    (match Export.parse_line span with
+    | Ok j ->
+      Alcotest.(check (option string)) "phase" (Some "mark")
+        (Option.bind (Export.member "phase" j) Export.to_string);
+      Alcotest.(check (option int)) "bytes" (Some 8192)
+        (Option.bind (Export.member "bytes" j) Export.to_int);
+      Alcotest.(check (option int)) "attr sweep" (Some 2)
+        (Option.bind
+           (Option.bind (Export.member "attrs" j) (Export.member "sweep"))
+           Export.to_int)
+    | Error e -> Alcotest.failf "span: %s" e)
+  | lines -> Alcotest.failf "expected 2 lines, got %d" (List.length lines)
+
+(* Two identical runs of the full stack must export byte-identical
+   metrics — the determinism the check.sh gate and the paper's
+   reproducibility claims rest on. *)
+let test_export_determinism () =
+  let run () =
+    let captured = ref None in
+    let profile = Workloads.Spec2006.find "perlbench" in
+    ignore
+      (Workloads.Driver.run ~ops_scale:0.005
+         ~on_build:(fun stack -> captured := stack.Workloads.Harness.obs)
+         profile
+         (Workloads.Harness.Mine_sweeper C.default));
+    match !captured with
+    | Some reg -> Export.metrics_to_string reg
+    | None -> Alcotest.fail "Mine_sweeper stack exposed no registry"
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "exports non-trivial" true (String.length a > 200);
+  Alcotest.(check string) "byte-identical across identical runs" a b
+
+(* ------------------------------------------------------------------ *)
+(* Stats over the registry                                            *)
+
+let test_stats_completeness () =
+  let _, ms = fresh () in
+  let reg = I.registry ms in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" name)
+        true (R.mem reg name))
+    Stats.registered_names;
+  Alcotest.(check int) "one registry name per snapshot field"
+    (List.length Stats.field_names)
+    (List.length Stats.registered_names);
+  Alcotest.(check (list string)) "to_fields covers the field set"
+    Stats.field_names
+    (List.map fst (Stats.to_fields (I.stats ms)))
+
+let test_stats_reset () =
+  let _, ms = fresh () in
+  churn ms 4_000 64;
+  let s = I.stats ms in
+  Alcotest.(check bool) "activity recorded" true
+    (s.Stats.frees_intercepted > 0 && s.Stats.sweeps > 0);
+  I.reset_stats ms;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check int) (Printf.sprintf "%s zeroed" name) 0 v)
+    (Stats.to_fields (I.stats ms));
+  (* A snapshot is a point-in-time copy: resetting must not rewrite
+     history captured before the reset. *)
+  Alcotest.(check bool) "pre-reset snapshot unaffected" true
+    (s.Stats.frees_intercepted > 0)
+
+(* Acceptance criterion: sweep-phase spans account for 100% of the
+   charged cost-model bytes — the mark spans (full or incremental) plus
+   the stop-the-world re-scan spans sum exactly to [swept_bytes]. *)
+let span_coverage config =
+  let _, ms = fresh ~config () in
+  churn ms 6_000 64;
+  let ring = I.trace_ring ms in
+  Alcotest.(check bool) "ring holds the complete history" false
+    (Ring.wrapped ring);
+  let charged =
+    List.fold_left
+      (fun acc s ->
+        match (s.Ring.phase, s.Ring.label) with
+        | Ring.Mark, ("mark-full" | "mark-incremental") -> acc + s.Ring.bytes
+        | Ring.Scan, "stw-rescan" -> acc + s.Ring.bytes
+        | _ -> acc)
+      0 (Ring.spans ring)
+  in
+  let s = I.stats ms in
+  Alcotest.(check bool) "profile actually swept" true (s.Stats.sweeps > 0);
+  Alcotest.(check int) "span bytes == swept_bytes" s.Stats.swept_bytes charged
+
+let test_span_coverage_default () = span_coverage C.default
+let test_span_coverage_incremental () = span_coverage C.incremental
+let test_span_coverage_mostly () = span_coverage C.mostly_concurrent
+
+(* ------------------------------------------------------------------ *)
+(* Typed error API                                                    *)
+
+let error : I.error Alcotest.testable =
+  Alcotest.testable I.pp_error ( = )
+
+let test_free_result () =
+  let _, ms = fresh () in
+  let p = I.malloc ms 64 in
+  Alcotest.(check (result unit error)) "first free succeeds" (Ok ())
+    (I.free_result ms p);
+  Alcotest.(check (result unit error)) "second free reports double free"
+    (Error (I.Double_free p))
+    (I.free_result ms p);
+  let bogus = p + 8 in
+  Alcotest.(check (result unit error)) "unknown pointer rejected"
+    (Error (I.Unknown_pointer bogus))
+    (I.free_result ms bogus);
+  let s = I.stats ms in
+  Alcotest.(check int) "double free counted once" 1 s.Stats.double_frees;
+  Alcotest.(check int) "unknown pointer intercepts nothing" 2
+    s.Stats.frees_intercepted
+
+let test_calloc_result () =
+  let _, ms = fresh () in
+  (match I.calloc_result ms 4 16 with
+  | Ok p -> Alcotest.(check bool) "calloc serves an address" true (p <> 0)
+  | Error e -> Alcotest.failf "calloc_result: %a" I.pp_error e);
+  Alcotest.(check bool) "count*size overflow rejected" true
+    (I.calloc_result ms max_int 2 = Error I.Size_overflow)
+
+let test_realloc_result () =
+  let machine, ms = fresh () in
+  let p = I.malloc ms 64 in
+  Vmem.store machine.Alloc.Machine.mem p 4242;
+  (match I.realloc_result ms p 256 with
+  | Ok q ->
+    Alcotest.(check int) "contents copied" 4242
+      (Vmem.load machine.Alloc.Machine.mem q);
+    Alcotest.(check (result unit error)) "old block now quarantined"
+      (Error (I.Double_free p))
+      (I.free_result ms p)
+  | Error e -> Alcotest.failf "realloc_result: %a" I.pp_error e);
+  let q = I.malloc ms 64 in
+  I.free ms q;
+  Alcotest.(check (result int error)) "realloc of a freed block rejected"
+    (Error (I.Double_free q))
+    (I.realloc_result ms q 128)
+
+(* ------------------------------------------------------------------ *)
+(* Config presets                                                     *)
+
+let test_config_presets () =
+  (match C.of_preset "default" with
+  | Ok c -> Alcotest.(check bool) "default preset" true (c = C.default)
+  | Error e -> Alcotest.failf "of_preset default: %s" e);
+  (match C.of_preset "ms" with
+  | Ok c -> Alcotest.(check bool) "alias ms -> default" true (c = C.default)
+  | Error e -> Alcotest.failf "of_preset ms: %s" e);
+  (match C.of_preset "ms-inc" with
+  | Ok c ->
+    Alcotest.(check bool) "alias ms-inc -> incremental" true
+      (c = C.incremental)
+  | Error e -> Alcotest.failf "of_preset ms-inc: %s" e);
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "preset %s resolves" name)
+        true
+        (Result.is_ok (C.of_preset name)))
+    C.presets;
+  Alcotest.(check bool) "unknown preset rejected with the accepted list" true
+    (match C.of_preset "bogus" with
+    | Error msg -> String.length msg > 0
+    | Ok _ -> false);
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "preset_name reverses %s" name)
+        (Some name) (C.preset_name c))
+    C.presets;
+  Alcotest.(check (option string)) "hand-built config has no preset name" None
+    (C.preset_name (C.make ~threshold_min_bytes:123_456 ()))
+
+let test_config_make () =
+  Alcotest.(check bool) "make () = default" true (C.make () = C.default);
+  let c = C.make ~zeroing:false () in
+  Alcotest.(check bool) "override applies" true
+    ((not c.C.zeroing) && C.default.C.zeroing)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "histogram bucket boundaries" `Quick
+        test_histogram_buckets;
+      Alcotest.test_case "histogram observe/sum/buckets" `Quick
+        test_histogram_observe;
+      Alcotest.test_case "registry basics" `Quick test_registry_basics;
+      Alcotest.test_case "ring overflow evicts oldest" `Quick
+        test_ring_overflow;
+      Alcotest.test_case "ring enter/exit" `Quick test_ring_enter_exit;
+      Alcotest.test_case "phase names round-trip" `Quick test_phase_names;
+      Alcotest.test_case "metrics JSONL round-trip" `Quick
+        test_metrics_roundtrip;
+      Alcotest.test_case "spans JSONL export" `Quick test_spans_export;
+      Alcotest.test_case "export determinism" `Slow test_export_determinism;
+      Alcotest.test_case "stats registry completeness" `Quick
+        test_stats_completeness;
+      Alcotest.test_case "stats reset + snapshot isolation" `Quick
+        test_stats_reset;
+      Alcotest.test_case "span coverage: default" `Quick
+        test_span_coverage_default;
+      Alcotest.test_case "span coverage: incremental" `Quick
+        test_span_coverage_incremental;
+      Alcotest.test_case "span coverage: mostly" `Quick
+        test_span_coverage_mostly;
+      Alcotest.test_case "free_result errors" `Quick test_free_result;
+      Alcotest.test_case "calloc_result overflow" `Quick test_calloc_result;
+      Alcotest.test_case "realloc_result errors" `Quick test_realloc_result;
+      Alcotest.test_case "config presets" `Quick test_config_presets;
+      Alcotest.test_case "config make" `Quick test_config_make;
+    ] )
