@@ -11,9 +11,13 @@
      attack [-s SCHEME]        run the Figure-2 exploit scenarios
      trace-gen -b BENCH -o F   derive a portable trace file from a profile
      trace-replay -i F -s S    replay a trace file against a scheme
-     check [-i F] [--oracle] [--corpus]
+     check [-i F] [--oracle] [--corpus] [--races]
                                lint traces, audit a differential replay,
-                               self-test the lint corpus *)
+                               self-test the lint corpus, race-check
+                               recorded synchronization events
+     explore [--schedules N]   permute sweep boundaries through a fixed
+                               mutator script and verify soundness, race
+                               freedom and deterministic accounting *)
 
 open Cmdliner
 
@@ -373,8 +377,19 @@ let check_cmd =
             "Completed sweeps an unreferenced quarantined allocation may \
              survive before the oracle reports it as retained")
   in
+  let races_arg =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Also record each trace's synchronization events on a live \
+             instrumented stack (under both the default and \
+             mostly-concurrent presets) and run the vector-clock \
+             happens-before analysis; with --corpus, additionally replay \
+             every sweep-protocol mutant, which the checker must flag")
+  in
   let oracle_config = ms_config in
-  let f files oracle corpus config latency =
+  let f files oracle corpus races config latency =
     let findings = ref 0 in
     let print_diags diags =
       findings := !findings + List.length diags;
@@ -401,7 +416,23 @@ let check_cmd =
             r.Sanitizer.Sweep_oracle.frees r.Sanitizer.Sweep_oracle.releases
             r.Sanitizer.Sweep_oracle.sweeps (List.length diags);
           print_diags diags
-        end)
+        end;
+        if races then
+          List.iter
+            (fun config_name ->
+              let r =
+                Racecheck.Recorder.run ~config:(ms_config config_name)
+                  ~config_name trace
+              in
+              Fmt.pr
+                "%s: races(%s): %d threads, %d sweeps, %d events, %d window \
+                 writes, %d finding(s)@."
+                file config_name r.Racecheck.Recorder.threads
+                r.Racecheck.Recorder.sweeps r.Racecheck.Recorder.events
+                r.Racecheck.Recorder.window_writes
+                (List.length r.Racecheck.Recorder.diags);
+              print_diags r.Racecheck.Recorder.diags)
+            [ "default"; "mostly" ])
       files;
     if corpus then begin
       Fmt.pr "corpus self-test:@.";
@@ -432,6 +463,20 @@ let check_cmd =
             print_diags diags)
         (Sanitizer.Corpus.well_behaved ())
     end;
+    if corpus && races then begin
+      Fmt.pr "protocol mutant self-test:@.";
+      List.iter
+        (fun (r : Racecheck.Protocol.mutant_result) ->
+          if r.passed then
+            Fmt.pr "  ok   %-24s [%s]@." r.name (String.concat "; " r.got)
+          else begin
+            incr findings;
+            Fmt.pr "  FAIL %-24s expected [%s] got [%s]@." r.name
+              (String.concat "; " r.expected)
+              (String.concat "; " r.got)
+          end)
+        (Racecheck.Protocol.self_test ())
+    end;
     if (not corpus) && files = [] then
       Fmt.pr "nothing to check: pass -i FILE and/or --corpus@.";
     if !findings > 0 then begin
@@ -441,7 +486,56 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const f $ files_arg $ oracle_arg $ corpus_arg $ config_arg $ latency_arg)
+      const f $ files_arg $ oracle_arg $ corpus_arg $ races_arg $ config_arg
+      $ latency_arg)
+
+let explore_cmd =
+  let doc =
+    "Bounded schedule exploration of the sweep protocol: permute sweep \
+     start/finish boundaries through a fixed two-mutator script, checking \
+     ground-truth release soundness, race freedom and deterministic \
+     accounting per schedule. Exits non-zero on any violation or race."
+  in
+  let schedules_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "schedules" ]
+          ~doc:"Schedules to explore (stride-sampled from the full space)")
+  in
+  let config_arg =
+    Arg.(
+      value & opt string "mostly"
+      & info [ "config" ]
+          ~doc:
+            "Instance configuration: default, mostly, incremental, \
+             incremental-mostly, partial")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~doc:"Write rc.* metrics as JSONL to this file")
+  in
+  let f schedules config metrics_out =
+    let r =
+      Racecheck.Explorer.run ~config:(ms_config config) ~config_name:config
+        ~schedules ()
+    in
+    print_string (Racecheck.Explorer.render r);
+    (match metrics_out with
+    | Some file ->
+      Obs.Export.write_file file
+        (Obs.Export.metrics_to_string r.Racecheck.Explorer.registry);
+      Fmt.pr "metrics written to %s@." file
+    | None -> ());
+    let bad =
+      List.length (Racecheck.Explorer.violations r)
+      + List.length (Racecheck.Explorer.races r)
+    in
+    if bad > 0 || not (r.Racecheck.Explorer.deterministic && r.Racecheck.Explorer.consistent)
+    then exit 1
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const f $ schedules_arg $ config_arg $ metrics_arg)
 
 let () =
   let doc = "MineSweeper reproduction driver" in
@@ -452,5 +546,5 @@ let () =
           [
             list_cmd; run_cmd; bench_cmd; trace_cmd; compare_cmd;
             figures_cmd; attack_cmd; trace_gen_cmd; trace_replay_cmd;
-            check_cmd;
+            check_cmd; explore_cmd;
           ]))

@@ -19,8 +19,11 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== sanitizer corpus self-test"
-"$CLI" check --corpus
+echo "== sanitizer corpus self-test (lint + protocol mutants)"
+# --races adds the protocol-mutant self-test: every seeded mutation of
+# the sweep protocol must be flagged with exactly its expected rules,
+# and the unmutated protocol must come back race-free.
+"$CLI" check --corpus --races
 
 echo "== lint + sweep oracle over example traces"
 # espresso (mimalloc-bench): well-behaved — must be fully clean.
@@ -62,6 +65,34 @@ for trace in espresso perl; do
     && { echo "FAIL: oracle flagged the incremental config on $trace" >&2; exit 1; }
 done
 echo "oracle certifies the incremental config sound"
+
+echo "== race checker: recorded streams clean, bounded exploration sound"
+# The happens-before analysis over live recorded synchronization events
+# must certify both seeded workloads race-free under the default and
+# mostly-concurrent presets (the generator never republishes a freed
+# address, so no write can hide a locked-in pointer from the mark).
+for trace in espresso perl; do
+  "$CLI" check -i "$workdir/$trace.trace" --races >"$workdir/races-$trace.txt" 2>&1 || true
+  grep -q "races(default):.* 0 finding(s)" "$workdir/races-$trace.txt" \
+    || { echo "FAIL: race findings under default on $trace" >&2; exit 1; }
+  grep -q "races(mostly):.* 0 finding(s)" "$workdir/races-$trace.txt" \
+    || { echo "FAIL: race findings under mostly on $trace" >&2; exit 1; }
+  grep -q "rc-" "$workdir/races-$trace.txt" \
+    && { echo "FAIL: race diagnostics on $trace" >&2; exit 1; }
+done
+echo "recorded event streams race-free under default and mostly"
+
+# Bounded schedule exploration: no quarantined chunk may be released
+# while a ground-truth pointer to it exists, no schedule may race, and
+# two identical explorations must render byte-identically.
+"$CLI" explore --schedules 64 >"$workdir/explore1.txt" \
+  || { echo "FAIL: explorer found violations or races" >&2; exit 1; }
+"$CLI" explore --schedules 64 >"$workdir/explore2.txt"
+cmp "$workdir/explore1.txt" "$workdir/explore2.txt" \
+  || { echo "FAIL: explorer output differs across identical runs" >&2; exit 1; }
+grep -q "violations=0 races=0" "$workdir/explore1.txt" \
+  || { echo "FAIL: explorer summary reports findings" >&2; exit 1; }
+echo "explored 64 schedules: sound, race-free, deterministic"
 
 echo "== bench smoke: incremental sweeps fewer bytes than full"
 "$CLI" figures --only incremental-sweep --scale 0.02 >"$workdir/incfig.txt" 2>/dev/null

@@ -23,6 +23,15 @@ type bin = { mutable nonfull : slab list }
 
 type tcache_bin = { mutable items : int list; mutable count : int }
 
+(* Allocation life-cycle events for the race checker: a chunk is
+   [Recycled] the moment [free] takes it back (into the thread cache for
+   small classes) and [Served] when [malloc] hands it (or fresh memory)
+   out. Reuse of quarantined memory would surface as a [Served] of an
+   address the quarantine still holds. *)
+type event =
+  | Served of { addr : int; usable : int; from_tcache : bool }
+  | Recycled of { addr : int; to_tcache : bool }
+
 type t = {
   machine : Machine.t;
   extent : Extent.t;
@@ -37,6 +46,7 @@ type t = {
   mutable slab_count : int;
   mutable mallocs : int;
   mutable frees : int;
+  mutable observer : (event -> unit) option;
 }
 
 let create ?(extra_byte = false) ?decay_cycles machine =
@@ -54,7 +64,14 @@ let create ?(extra_byte = false) ?decay_cycles machine =
     slab_count = 0;
     mallocs = 0;
     frees = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
+let observe t ev =
+  match t.observer with None -> () | Some f -> f ev
 
 let cost t = t.machine.Machine.cost
 let charge t n = Machine.charge t.machine n
@@ -175,10 +192,10 @@ let malloc t size =
   assert (size >= 0);
   let size = max 1 size + if t.extra_byte then 1 else 0 in
   t.mallocs <- t.mallocs + 1;
-  let addr, usable =
+  let addr, usable, from_tcache =
     if Size_class.is_small size then begin
       let cls = Size_class.class_of_size size in
-      (malloc_small t cls, Size_class.size_of_class cls)
+      (malloc_small t cls, Size_class.size_of_class cls, true)
     end
     else begin
       charge t (cost t).Sim.Cost.malloc_slow;
@@ -188,9 +205,10 @@ let malloc t size =
       for i = 0 to pages - 1 do
         Hashtbl.replace t.large_page_index ((addr / page) + i) addr
       done;
-      (addr, pages * page)
+      (addr, pages * page, false)
     end
   in
+  observe t (Served { addr; usable; from_tcache });
   (* Applications initialise what they allocate; model that by zeroing the
      usable range and charging the streaming writes. *)
   Vmem.zero_range t.machine.Machine.mem ~addr ~len:usable;
@@ -214,6 +232,7 @@ let free t addr =
   (match Hashtbl.find_opt t.large addr with
   | Some pages ->
     charge t (cost t).Sim.Cost.free_slow;
+    observe t (Recycled { addr; to_tcache = false });
     Hashtbl.remove t.large addr;
     for i = 0 to pages - 1 do
       Hashtbl.remove t.large_page_index ((addr / page) + i)
@@ -223,6 +242,7 @@ let free t addr =
   | None ->
     (match Hashtbl.find_opt t.slab_of_page (addr / page) with
     | Some slab ->
+      observe t (Recycled { addr; to_tcache = true });
       t.live_bytes <- t.live_bytes - Size_class.size_of_class slab.cls;
       free_small t slab addr
     | None -> invalid_arg "Jemalloc.free: not an allocation"));

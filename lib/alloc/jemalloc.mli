@@ -97,3 +97,19 @@ val attach_obs : t -> Obs.Registry.t -> unit
     ([alloc.mallocs], [alloc.frees], [alloc.live_allocations],
     [alloc.live_bytes], [alloc.retained_dirty_bytes]). Raises
     {!Obs.Registry.Duplicate} if the names are already claimed. *)
+
+(** {1 Allocation life-cycle observation}
+
+    The race checker ({!Racecheck}) subscribes to serve/recycle events
+    to detect quarantined memory re-entering circulation: a [Served]
+    whose address the quarantine still holds means the interposition
+    layer was bypassed. [from_tcache]/[to_tcache] distinguish the
+    thread-cache fast path from extent traffic. At most one observer is
+    active; emission is synchronous. *)
+
+type event =
+  | Served of { addr : int; usable : int; from_tcache : bool }
+  | Recycled of { addr : int; to_tcache : bool }
+
+val set_observer : t -> (event -> unit) -> unit
+val clear_observer : t -> unit

@@ -10,6 +10,14 @@ type error = Instance_intf.error =
 let pp_error = Instance_intf.pp_error
 let error_to_string = Instance_intf.error_to_string
 
+type sweep_event = Instance_intf.sweep_event =
+  | Sweep_locked of { sweep : int; entries : int }
+  | Mark_page of { sweep : int; base : int }
+  | Mark_completed of { sweep : int; scanned_bytes : int }
+  | Stw_fence of { sweep : int }
+  | Rescan_page of { sweep : int; base : int }
+  | Sweep_completed of { sweep : int }
+
 module Make (B : Alloc.Backend.S) = struct
   type backend = B.t
 
@@ -54,6 +62,7 @@ type t = {
   mutable sweep : sweep_state option;
   mutable last_decay_tick : int;
   mutable post_sweep_hook : (unit -> unit) option;
+  mutable sync_observer : (sweep_event -> unit) option;
 }
 
 let decay_tick_interval = 1_000_000
@@ -84,6 +93,11 @@ let stop_the_world_of t =
   | Config.Sequential -> false
   | Config.Concurrent { stop_the_world; _ } -> stop_the_world
 
+let emit_sync t ev =
+  match t.sync_observer with None -> () | Some f -> f ev
+
+let sweep_number t = R.Counter.value t.stats.Stats.Live.sweeps
+
 let create ?(config = Config.default) ?(threads = 1) ?obs machine =
   let je = B.create ~extra_byte:true machine in
   let registry = match obs with Some r -> r | None -> R.create () in
@@ -106,6 +120,7 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
       sweep = None;
       last_decay_tick = 0;
       post_sweep_hook = None;
+      sync_observer = None;
     }
   in
   (* The surrounding layers publish their accounting into the same
@@ -159,7 +174,9 @@ let mark_page t bytes =
 let mark_all_memory t =
   Shadow.clear t.shadow;
   let swept = ref 0 in
-  Vmem.iter_readable_pages (mem t) (fun _base bytes ->
+  let sweep = sweep_number t in
+  Vmem.iter_readable_pages (mem t) (fun base bytes ->
+      emit_sync t (Mark_page { sweep; base });
       mark_page t bytes;
       swept := !swept + page);
   count t.stats.Stats.Live.swept_bytes !swept;
@@ -193,7 +210,9 @@ let mark_incremental t =
   let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
   let rescanned = ref 0 and replayed = ref 0 in
   let skipped_pages = ref 0 and rescanned_pages = ref 0 in
+  let sweep = sweep_number t in
   Vmem.iter_readable_pages_gen m (fun base bytes ~write_gen ->
+      emit_sync t (Mark_page { sweep; base });
       let index = base / page in
       match Hashtbl.find_opt t.summaries index with
       | Some s when write_gen < s.gen ->
@@ -250,7 +269,9 @@ let reference_incremental_mark t =
 
 let mark_dirty_pages t =
   let swept = ref 0 in
+  let sweep = sweep_number t in
   Vmem.iter_soft_dirty_pages (mem t) (fun base ->
+      emit_sync t (Rescan_page { sweep; base });
       Vmem.iter_committed_words (mem t) ~addr:base ~len:page (fun _ w ->
           if w >= Layout.heap_base && w < B.wilderness t.je then
             Shadow.mark t.shadow w);
@@ -312,13 +333,12 @@ let sweep_sink t =
 
 let log_event t event = Event_log.record t.log ~now:(now t) event
 
-let sweep_number t = R.Counter.value t.stats.Stats.Live.sweeps
-
 let finish_sweep t state =
   (* Mostly concurrent mode: brief stop-the-world re-scan of the pages
      written during the sweep, so moved dangling pointers are seen. *)
   if t.config.Config.sweeping && stop_the_world_of t then begin
     let c = cost t in
+    emit_sync t (Stw_fence { sweep = sweep_number t });
     let pending = Ring.enter ~now:(now t) Ring.Scan "stw-rescan" in
     let dirty_bytes =
       Alloc.Machine.with_sink t.machine Alloc.Machine.Background (fun () ->
@@ -365,6 +385,7 @@ let finish_sweep t state =
   log_event t
     (Event_log.Sweep_finished { sweep = sweep_number t; released; failed });
   t.sweep <- None;
+  emit_sync t (Sweep_completed { sweep = sweep_number t });
   match t.post_sweep_hook with None -> () | Some hook -> hook ()
 
 let start_sweep t =
@@ -376,6 +397,8 @@ let start_sweep t =
          quarantined_bytes = Quarantine.total_bytes t.quarantine;
        });
   let entries = Quarantine.lock_in t.quarantine in
+  emit_sync t
+    (Sweep_locked { sweep = sweep_number t; entries = List.length entries });
   if stop_the_world_of t then Vmem.clear_soft_dirty (mem t);
   let c = cost t in
   let sink = sweep_sink t in
@@ -410,6 +433,9 @@ let start_sweep t =
     R.Histogram.observe t.scan_hist !scanned_bytes;
     busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte !scanned_bytes
   end;
+  emit_sync t
+    (Mark_completed
+       { sweep = sweep_number t; scanned_bytes = !scanned_bytes });
   (* The release phase charges itself per entry in [release_all]; the
      wall-clock duration below accounts for it via the same estimate. *)
   let release_estimate = List.length entries * c.Sim.Cost.release_per_entry in
@@ -688,6 +714,15 @@ let iter_unmapped_pages t f =
   Hashtbl.iter (fun page_index () -> f (page_index * page)) t.unmapped_pages
 
 let set_post_sweep_hook t hook = t.post_sweep_hook <- Some hook
+let set_sync_observer t f = t.sync_observer <- Some f
+let clear_sync_observer t = t.sync_observer <- None
+
+let force_sweep t =
+  if t.sweep <> None || not t.config.Config.quarantining then false
+  else begin
+    start_sweep t;
+    true
+  end
 end
 
 include Make (Alloc.Backends.Jemalloc_backend)

@@ -29,6 +29,17 @@ type error = Instance_intf.error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+type sweep_event = Instance_intf.sweep_event =
+  | Sweep_locked of { sweep : int; entries : int }
+  | Mark_page of { sweep : int; base : int }
+  | Mark_completed of { sweep : int; scanned_bytes : int }
+  | Stw_fence of { sweep : int }
+  | Rescan_page of { sweep : int; base : int }
+  | Sweep_completed of { sweep : int }
+      (** Synchronization events of the sweep protocol, consumed by the
+          race checker via [set_sync_observer]; see
+          {!Instance_intf.sweep_event}. *)
+
 module Make (B : Alloc.Backend.S) : S with type backend = B.t
 
 include S with type backend = Alloc.Jemalloc.t

@@ -18,6 +18,36 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(** Synchronization events of the sweep protocol, in the order the
+    sweeper/STW logical threads perform them. The race checker
+    ({!Racecheck}) reconstructs happens-before edges from this stream:
+    [Sweep_locked] is the barrier that joins every mutator's quarantine
+    buffer into the sweeper; [Mark_page]/[Rescan_page] are the
+    background (resp. stop-the-world) reads of one page; [Stw_fence] is
+    the full barrier that opens the dirty-page re-scan; and
+    [Sweep_completed] publishes the release decisions back to the
+    mutators. *)
+type sweep_event =
+  | Sweep_locked of { sweep : int; entries : int }
+      (** The quarantine working set was locked in; [entries] is its
+          size (the per-entry detail arrives via
+          {!Quarantine.set_observer}'s [Locked_in]). *)
+  | Mark_page of { sweep : int; base : int }
+      (** The marking phase consumed the page at [base] — a fresh read
+          under [Full_scan], a read or a generation-checked summary
+          replay under [Incremental]. *)
+  | Mark_completed of { sweep : int; scanned_bytes : int }
+      (** Marking finished; emitted even when [sweeping] is off (with 0
+          bytes) so every sweep has a complete event bracket. *)
+  | Stw_fence of { sweep : int }
+      (** Stop-the-world: all mutators are fenced before the dirty-page
+          re-scan (mostly-concurrent mode only). *)
+  | Rescan_page of { sweep : int; base : int }
+      (** The STW re-scan consumed the soft-dirty page at [base]. *)
+  | Sweep_completed of { sweep : int }
+      (** Release phase done; quarantine decisions are visible to every
+          mutator. *)
+
 module type S = sig
   type t
 
@@ -162,4 +192,21 @@ module type S = sig
   (** [set_post_sweep_hook t f] runs [f] after every completed sweep
       (release phase included) — the debug-mode hook the sanitizer uses
       to audit the stack at its most delicate moment. *)
+
+  (** {1 Race-checker hooks} *)
+
+  val set_sync_observer : t -> (sweep_event -> unit) -> unit
+  (** Subscribe to the sweep protocol's synchronization events (see
+      {!sweep_event}). At most one observer; emission is synchronous and
+      in protocol order. *)
+
+  val clear_sync_observer : t -> unit
+
+  val force_sweep : t -> bool
+  (** Start a sweep immediately, regardless of the quarantine trigger —
+      the schedule explorer's way of placing sweep boundaries at chosen
+      interleaving points. Returns [false] (and does nothing) if a sweep
+      is already in flight or quarantining is disabled. Under
+      [Sequential] concurrency the sweep also completes before
+      returning. *)
 end

@@ -7,6 +7,17 @@ type entry = {
 
 let buffer_flush_threshold = 64
 
+(* Synchronization events for the race checker: every protocol-relevant
+   transition of the quarantine is observable, so a happens-before
+   analysis can reconstruct the push -> flush -> lock_in -> requeue/
+   release lifecycle of each entry. *)
+type event =
+  | Pushed of { thread : int; raw_thread : int; addr : int; usable : int }
+  | Flushed of { thread : int; entries : int }
+  | Locked_in of { entries : (int * int) list }  (* (addr, usable) *)
+  | Requeued of { addr : int }
+  | Released of { addr : int }
+
 type t = {
   machine : Alloc.Machine.t;
   mutable fresh : entry list;
@@ -17,6 +28,7 @@ type t = {
   dedup : (int, entry) Hashtbl.t;
   buffers : entry list array;
   buffer_lens : int array;
+  mutable observer : (event -> unit) option;
 }
 
 let create machine ~threads =
@@ -31,7 +43,24 @@ let create machine ~threads =
     dedup = Hashtbl.create 4096;
     buffers = Array.make threads [];
     buffer_lens = Array.make threads 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
+let emit t ev =
+  match t.observer with None -> () | Some f -> f ev
+
+let threads t = Array.length t.buffers
+
+(* Out-of-range thread ids alias buffer 0 (a real per-thread cache keyed
+   by a hashed tid would do the same): correctness is unaffected — the
+   entry still reaches the global list at the next flush — but the
+   aliasing silently serialises what was meant to be contention-free,
+   which is why {!Sanitizer.Trace_lint} flags traces that do this. *)
+let clamp_thread t thread =
+  if thread >= 0 && thread < Array.length t.buffers then thread else 0
 
 let contains t addr = Hashtbl.mem t.dedup addr
 let find t addr = Hashtbl.find_opt t.dedup addr
@@ -41,11 +70,13 @@ let account_fresh t e =
   t.unmapped <- t.unmapped + e.unmapped_len
 
 let flush_thread t ~thread =
+  let thread = clamp_thread t thread in
   let buffered = t.buffers.(thread) in
   if buffered <> [] then begin
     let cost = t.machine.Alloc.Machine.cost in
     Alloc.Machine.charge t.machine
       (t.buffer_lens.(thread) * cost.Sim.Cost.quarantine_flush_per_entry);
+    emit t (Flushed { thread; entries = t.buffer_lens.(thread) });
     t.fresh <- List.rev_append buffered t.fresh;
     List.iter (fun e -> account_fresh t e) buffered;
     t.buffers.(thread) <- [];
@@ -59,8 +90,11 @@ let flush_all t =
 
 let push t ~thread e =
   assert (not (contains t e.addr));
+  let raw_thread = thread in
+  let thread = clamp_thread t thread in
   let cost = t.machine.Alloc.Machine.cost in
   Alloc.Machine.charge t.machine cost.Sim.Cost.quarantine_push;
+  emit t (Pushed { thread; raw_thread; addr = e.addr; usable = e.usable });
   Hashtbl.replace t.dedup e.addr e;
   t.buffers.(thread) <- e :: t.buffers.(thread);
   t.buffer_lens.(thread) <- t.buffer_lens.(thread) + 1;
@@ -74,15 +108,19 @@ let lock_in t =
   t.fresh_mapped <- 0;
   t.failed_total <- 0;
   t.unmapped <- 0;
+  emit t (Locked_in { entries = List.map (fun e -> (e.addr, e.usable)) locked });
   locked
 
 let requeue_failed t e =
   e.failures <- e.failures + 1;
   t.failed <- e :: t.failed;
   t.failed_total <- t.failed_total + (e.usable - e.unmapped_len);
-  t.unmapped <- t.unmapped + e.unmapped_len
+  t.unmapped <- t.unmapped + e.unmapped_len;
+  emit t (Requeued { addr = e.addr })
 
-let release t e = Hashtbl.remove t.dedup e.addr
+let release t e =
+  Hashtbl.remove t.dedup e.addr;
+  emit t (Released { addr = e.addr })
 
 let iter_fresh t f = List.iter f t.fresh
 let iter_failed t f = List.iter f t.failed

@@ -24,6 +24,9 @@ type t
 
 val create : Alloc.Machine.t -> threads:int -> t
 
+val threads : t -> int
+(** Number of per-thread buffers the quarantine was created with. *)
+
 val contains : t -> int -> bool
 (** Whether the address is currently quarantined (dedup check). *)
 
@@ -31,7 +34,10 @@ val find : t -> int -> entry option
 
 val push : t -> thread:int -> entry -> unit
 (** Quarantine an entry through the thread's local buffer. The address
-    must not already be quarantined. *)
+    must not already be quarantined. A [thread] outside
+    [0, threads) aliases buffer 0 (as a hashed-tid cache would):
+    correct but contention-prone — {!Sanitizer.Trace_lint}'s
+    [free-thread-out-of-range] rule flags traces that do this. *)
 
 val flush_thread : t -> thread:int -> unit
 val flush_all : t -> unit
@@ -57,6 +63,28 @@ val iter_failed : t -> (entry -> unit) -> unit
 val iter_buffered : t -> (entry -> unit) -> unit
 (** Entries still sitting in thread-local buffers (not yet flushed, so
     not yet part of the fresh accounting). *)
+
+(** {1 Synchronization-event observation}
+
+    The race checker ({!Racecheck}) subscribes to the quarantine's
+    protocol transitions: thread-local pushes (with the raw, pre-clamp
+    thread id), buffer flushes, the lock-in barrier that opens a sweep,
+    and the per-entry requeue/release outcomes that close it. At most
+    one observer is active; emission is synchronous and in program
+    order. *)
+
+type event =
+  | Pushed of { thread : int; raw_thread : int; addr : int; usable : int }
+      (** [thread] is the buffer actually written (after clamping),
+          [raw_thread] the id the caller passed. *)
+  | Flushed of { thread : int; entries : int }
+  | Locked_in of { entries : (int * int) list }
+      (** [(addr, usable)] of every entry taken by {!lock_in}. *)
+  | Requeued of { addr : int }
+  | Released of { addr : int }
+
+val set_observer : t -> (event -> unit) -> unit
+val clear_observer : t -> unit
 
 val fresh_mapped_bytes : t -> int
 (** Trigger numerator: quarantined bytes that are neither failed nor

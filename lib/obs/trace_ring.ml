@@ -4,6 +4,7 @@ type phase =
   | Purge
   | Quarantine
   | Alloc_slow
+  | Race
 
 let phase_name = function
   | Mark -> "mark"
@@ -11,6 +12,7 @@ let phase_name = function
   | Purge -> "purge"
   | Quarantine -> "quarantine"
   | Alloc_slow -> "alloc_slow"
+  | Race -> "race"
 
 let phase_of_name = function
   | "mark" -> Some Mark
@@ -18,6 +20,7 @@ let phase_of_name = function
   | "purge" -> Some Purge
   | "quarantine" -> Some Quarantine
   | "alloc_slow" -> Some Alloc_slow
+  | "race" -> Some Race
   | _ -> None
 
 type span = {

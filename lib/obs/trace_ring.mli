@@ -14,6 +14,7 @@ type phase =
   | Purge  (** post-sweep allocator purge *)
   | Quarantine  (** quarantine traffic: free intercepts, release phase *)
   | Alloc_slow  (** allocation slow path (allocation pauses) *)
+  | Race  (** race-checker window: lock-in to sweep completion, and detected race spans *)
 
 val phase_name : phase -> string
 val phase_of_name : string -> phase option

@@ -1,0 +1,81 @@
+type tid =
+  | Mutator of int
+  | Sweeper
+  | Stw
+
+let tid_index ~threads = function
+  | Mutator i ->
+    if i < 0 || i >= threads then
+      invalid_arg (Printf.sprintf "Event.tid_index: mutator %d of %d" i threads);
+    i
+  | Sweeper -> threads
+  | Stw -> threads + 1
+
+let tid_count ~threads = threads + 2
+
+let tid_to_string = function
+  | Mutator i -> Printf.sprintf "mutator-%d" i
+  | Sweeper -> "sweeper"
+  | Stw -> "stw"
+
+type kind =
+  | Push of { raw_thread : int; addr : int; usable : int }
+  | Flush of { thread : int }
+  | Lock_in of { sweep : int; entries : (int * int) list }
+  | Mark_read of { sweep : int; base : int }
+  | Mark_done of { sweep : int }
+  | Write of { addr : int; value : int; gen : int }
+  | Fence of { sweep : int }
+  | Rescan_read of { sweep : int; base : int }
+  | Release of { sweep : int; addr : int }
+  | Requeue of { sweep : int; addr : int }
+  | Sweep_done of { sweep : int }
+  | Serve of { addr : int; usable : int }
+
+type t = {
+  seq : int;
+  tid : tid;
+  kind : kind;
+}
+
+let kind_to_string = function
+  | Push { raw_thread; addr; usable } ->
+    Printf.sprintf "push(%#x+%d from thread %d)" addr usable raw_thread
+  | Flush { thread } -> Printf.sprintf "flush(thread %d)" thread
+  | Lock_in { sweep; entries } ->
+    Printf.sprintf "lock-in(sweep %d, %d entries)" sweep (List.length entries)
+  | Mark_read { sweep; base } ->
+    Printf.sprintf "mark-read(sweep %d, page %#x)" sweep base
+  | Mark_done { sweep } -> Printf.sprintf "mark-done(sweep %d)" sweep
+  | Write { addr; value; gen } ->
+    Printf.sprintf "write(%#x := %#x, gen %d)" addr value gen
+  | Fence { sweep } -> Printf.sprintf "fence(sweep %d)" sweep
+  | Rescan_read { sweep; base } ->
+    Printf.sprintf "rescan-read(sweep %d, page %#x)" sweep base
+  | Release { sweep; addr } -> Printf.sprintf "release(sweep %d, %#x)" sweep addr
+  | Requeue { sweep; addr } -> Printf.sprintf "requeue(sweep %d, %#x)" sweep addr
+  | Sweep_done { sweep } -> Printf.sprintf "sweep-done(%d)" sweep
+  | Serve { addr; usable } -> Printf.sprintf "serve(%#x+%d)" addr usable
+
+(* Compact, clock-free rendering: two schedules with equal signatures
+   executed the same synchronization history. *)
+let kind_signature = function
+  | Push { raw_thread; addr; usable } ->
+    Printf.sprintf "P%d:%x+%d" raw_thread addr usable
+  | Flush { thread } -> Printf.sprintf "F%d" thread
+  | Lock_in { sweep; entries } ->
+    Printf.sprintf "L%d[%s]" sweep
+      (String.concat ","
+         (List.map (fun (a, u) -> Printf.sprintf "%x+%d" a u) entries))
+  | Mark_read { sweep; base } -> Printf.sprintf "m%d:%x" sweep base
+  | Mark_done { sweep } -> Printf.sprintf "M%d" sweep
+  | Write { addr; value; gen = _ } -> Printf.sprintf "W%x=%x" addr value
+  | Fence { sweep } -> Printf.sprintf "B%d" sweep
+  | Rescan_read { sweep; base } -> Printf.sprintf "r%d:%x" sweep base
+  | Release { sweep; addr } -> Printf.sprintf "R%d:%x" sweep addr
+  | Requeue { sweep; addr } -> Printf.sprintf "Q%d:%x" sweep addr
+  | Sweep_done { sweep } -> Printf.sprintf "D%d" sweep
+  | Serve { addr; usable } -> Printf.sprintf "S%x+%d" addr usable
+
+let to_string e =
+  Printf.sprintf "#%d %s %s" e.seq (tid_to_string e.tid) (kind_to_string e.kind)

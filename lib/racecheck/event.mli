@@ -1,0 +1,65 @@
+(** The typed synchronization-event vocabulary of the sweep protocol.
+
+    One run is a sequence of events, each attributed to a logical thread
+    ({!tid}): the mutators that allocate, free and write; the sweeper
+    that locks in, marks and releases; and a synthetic stop-the-world
+    "thread" that owns the fence and the dirty-page re-scans. The
+    instrumented stack ({!Recorder}) and the protocol emulator
+    ({!Protocol}) both speak this vocabulary; {!Hb} consumes it. *)
+
+type tid =
+  | Mutator of int  (** application thread [0 .. threads-1] *)
+  | Sweeper  (** background mark/release work *)
+  | Stw  (** the stop-the-world window: fence + dirty re-scan *)
+
+val tid_index : threads:int -> tid -> int
+(** Clock-component index: mutators first, then sweeper, then stw.
+    @raise Invalid_argument on a mutator id outside [0, threads). *)
+
+val tid_count : threads:int -> int
+(** [threads + 2]: width of the vector clocks for this run. *)
+
+val tid_to_string : tid -> string
+
+type kind =
+  | Push of { raw_thread : int; addr : int; usable : int }
+      (** free interposed into a thread-local quarantine buffer;
+          [raw_thread] is the id before any aliasing to buffer 0 *)
+  | Flush of { thread : int }
+      (** a thread-local buffer drained into the global queue *)
+  | Lock_in of { sweep : int; entries : (int * int) list }
+      (** sweep begins: the pending set is frozen; [(addr, usable)] per
+          entry. Synchronizes with every mutator (acquire). *)
+  | Mark_read of { sweep : int; base : int }
+      (** the background mark scanned one page *)
+  | Mark_done of { sweep : int }  (** marking finished; proofs exist *)
+  | Write of { addr : int; value : int; gen : int }
+      (** mutator word store during the sweep window, with the page's
+          resulting dirty generation *)
+  | Fence of { sweep : int }
+      (** stop-the-world barrier: orders every earlier mutator write
+          before the release decision (full barrier) *)
+  | Rescan_read of { sweep : int; base : int }
+      (** dirty page re-scanned inside the stop-the-world window *)
+  | Release of { sweep : int; addr : int }
+      (** entry proven unreachable and recycled to the backend *)
+  | Requeue of { sweep : int; addr : int }
+      (** entry still referenced; carried into the next sweep *)
+  | Sweep_done of { sweep : int }
+      (** sweep completed; synchronizes with every mutator (release) *)
+  | Serve of { addr : int; usable : int }
+      (** the allocator handed out [addr] — must never be quarantined *)
+
+type t = {
+  seq : int;  (** position in the observed total order *)
+  tid : tid;
+  kind : kind;
+}
+
+val kind_to_string : kind -> string
+
+val kind_signature : kind -> string
+(** Compact clock-free form; equal signatures over a whole run mean the
+    same synchronization history (the {!Explorer}'s equivalence key). *)
+
+val to_string : t -> string

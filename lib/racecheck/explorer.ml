@@ -1,0 +1,333 @@
+module Instance = Minesweeper.Instance
+module Config = Minesweeper.Config
+module Registry = Ptrtrack.Registry
+module Diagnostic = Sanitizer.Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* The mutator script: a fixed two-thread program with a deliberate
+   dangling window (a is freed at step 7 while root[0] still points at
+   it until step 10), so sweeps placed inside the window must requeue
+   and sweeps placed after it may release.                             *)
+
+type step =
+  | Malloc of { key : int; size : int; thread : int }
+  | Store_root of { slot : int; key : int; thread : int }
+  | Clear_root of { slot : int; thread : int }
+  | Store_field of { holder : int; word : int; key : int; thread : int }
+  | Free_key of { key : int; thread : int }
+  | Work of int
+
+let script =
+  [|
+    Malloc { key = 0; size = 64; thread = 0 } (* a *);
+    Work 1_000;
+    Store_root { slot = 0; key = 0; thread = 0 };
+    Malloc { key = 1; size = 64; thread = 1 } (* b *);
+    Store_field { holder = 0; word = 0; key = 1; thread = 1 } (* a.f := b *);
+    Work 1_000;
+    Store_root { slot = 1; key = 1; thread = 1 };
+    Free_key { key = 0; thread = 0 } (* root[0] still dangles at a *);
+    Malloc { key = 2; size = 4096; thread = 0 } (* c *);
+    Work 1_000;
+    Clear_root { slot = 0; thread = 0 } (* a now unreferenced *);
+    Clear_root { slot = 1; thread = 1 };
+    Free_key { key = 1; thread = 1 };
+    Store_root { slot = 2; key = 2; thread = 0 };
+    Work 1_000;
+    Clear_root { slot = 2; thread = 0 };
+    Free_key { key = 2; thread = 0 };
+  |]
+
+let heap_step = function Work _ -> false | _ -> true
+
+(* Commutativity points: sweep boundaries are only placed after steps
+   that touch the heap — placements between two pure-compute steps
+   execute identically, so the DPOR-style reduction skips them. *)
+let points =
+  let acc = ref [] in
+  Array.iteri (fun i st -> if heap_step st then acc := i :: !acc) script;
+  List.rev !acc
+
+(* A schedule: where to start and where to finish each sweep, as
+   (start_after_step, finish_after_step) pairs in step order. *)
+type schedule = (int * int) list
+
+let all_schedules () =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let singles = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto a + 1 do
+      singles := [ (pts.(a), pts.(b)) ] :: !singles
+    done
+  done;
+  let doubles = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto a + 1 do
+      for c = n - 1 downto b + 1 do
+        for d = n - 1 downto c + 1 do
+          doubles :=
+            [ (pts.(a), pts.(b)); (pts.(c), pts.(d)) ] :: !doubles
+        done
+      done
+    done
+  done;
+  !singles @ !doubles
+
+type outcome = {
+  index : int;
+  boundaries : schedule;
+  signature : string;
+  swept_bytes : int;
+  released : int;
+  requeued : int;
+  violations : string list;
+  races : Diagnostic.t list;
+}
+
+type report = {
+  config_name : string;
+  space : int;
+  outcomes : outcome list;
+  deterministic : bool;
+  consistent : bool;
+  registry : Obs.Registry.t;
+  ring : Obs.Trace_ring.t;
+}
+
+let explorer_config base =
+  (* Sweeps happen only where the schedule places them: suppress every
+     auto trigger and never stall allocation. *)
+  {
+    base with
+    Config.threshold = infinity;
+    threshold_min_bytes = max_int;
+    unmap_factor = infinity;
+    pause_factor = infinity;
+  }
+
+let run_schedule config index (boundaries : schedule) =
+  let machine = Alloc.Machine.create () in
+  let mem = machine.Alloc.Machine.mem in
+  List.iter
+    (fun (base, size) -> Vmem.map mem ~addr:base ~len:size)
+    Layout.root_regions;
+  let ms = Instance.create ~config ~threads:2 machine in
+  let je = Instance.jemalloc ms in
+  let reg = Registry.create je in
+  let violations = ref [] in
+  (* Ground-truth theorem, checked synchronously at every release: no
+     entry leaves quarantine while a recorded pointer to it exists. *)
+  let on_event (e : Event.t) =
+    match e.Event.kind with
+    | Event.Release { sweep; addr } ->
+      let n = Registry.in_pointer_count reg ~base:addr in
+      if n > 0 then
+        violations :=
+          Printf.sprintf
+            "sweep %d released %#x while %d ground-truth pointer(s) to it \
+             exist (event #%d)"
+            sweep addr n e.Event.seq
+          :: !violations
+    | _ -> ()
+  in
+  let s = Recorder.attach ~on_event ms ~threads:2 in
+  let addr_of = Hashtbl.create 8 in
+  let drop_dead_slots addr =
+    Registry.drop_slots_in reg ~base:addr
+      ~usable:(Alloc.Jemalloc.usable_size je addr) (fun ~slot:_ ~target:_ -> ())
+  in
+  let exec = function
+    | Malloc { key; size; thread } ->
+      Recorder.set_thread s thread;
+      let addr = Instance.malloc ms size in
+      (* Fresh memory is zeroed: slots recorded inside the range belong
+         to a dead incarnation. *)
+      drop_dead_slots addr;
+      Hashtbl.replace addr_of key addr;
+      Instance.tick ms
+    | Store_root { slot; key; thread } -> (
+      Recorder.set_thread s thread;
+      match Hashtbl.find_opt addr_of key with
+      | Some addr ->
+        let sl = Layout.stack_base + (8 * slot) in
+        Vmem.store mem sl addr;
+        Registry.record_write reg ~slot:sl ~value:addr
+      | None -> ())
+    | Clear_root { slot; thread } ->
+      Recorder.set_thread s thread;
+      let sl = Layout.stack_base + (8 * slot) in
+      Vmem.store mem sl 0;
+      Registry.record_write reg ~slot:sl ~value:0
+    | Store_field { holder; word; key; thread } -> (
+      Recorder.set_thread s thread;
+      match (Hashtbl.find_opt addr_of holder, Hashtbl.find_opt addr_of key) with
+      | Some haddr, Some taddr ->
+        let sl = haddr + (8 * word) in
+        Vmem.store mem sl taddr;
+        Registry.record_write reg ~slot:sl ~value:taddr
+      | _ -> ())
+    | Free_key { key; thread } -> (
+      Recorder.set_thread s thread;
+      match Hashtbl.find_opt addr_of key with
+      | Some addr ->
+        Hashtbl.remove addr_of key;
+        (* Zeroing destroys pointers stored inside the freed object. *)
+        drop_dead_slots addr;
+        Instance.free ms ~thread addr
+      | None -> ())
+    | Work cycles ->
+      Alloc.Machine.charge machine cycles;
+      Instance.tick ms
+  in
+  Array.iteri
+    (fun i st ->
+      exec st;
+      List.iter
+        (fun (start_after, finish_after) ->
+          if start_after = i then ignore (Instance.force_sweep ms);
+          if finish_after = i then Instance.drain ms)
+        boundaries)
+    script;
+  Instance.drain ms;
+  Recorder.detach s;
+  let evs = Recorder.events s in
+  let races = Hb.analyze ~threads:2 evs in
+  let count p = List.length (List.filter p evs) in
+  let signature =
+    String.concat ";"
+      (List.map (fun (e : Event.t) -> Event.kind_signature e.Event.kind) evs)
+  in
+  {
+    index;
+    boundaries;
+    signature;
+    swept_bytes = (Instance.stats ms).Minesweeper.Stats.swept_bytes;
+    released =
+      count (fun e ->
+          match e.Event.kind with Event.Release _ -> true | _ -> false);
+    requeued =
+      count (fun e ->
+          match e.Event.kind with Event.Requeue _ -> true | _ -> false);
+    violations = List.rev !violations;
+    races;
+  }
+
+let render_boundaries (b : schedule) =
+  String.concat ","
+    (List.map (fun (s, f) -> Printf.sprintf "s%d/f%d" s f) b)
+
+let render_outcome (o : outcome) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "  #%03d %-18s released=%d requeued=%d swept=%d sig=%s\n"
+       o.index
+       (render_boundaries o.boundaries)
+       o.released o.requeued o.swept_bytes
+       (string_of_int (Hashtbl.hash o.signature)));
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "    VIOLATION %s\n" v))
+    o.violations;
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    RACE %s\n" (Diagnostic.to_string d)))
+    o.races;
+  Buffer.contents buf
+
+let run ?(config = Config.mostly_concurrent) ?(config_name = "?") ~schedules ()
+    =
+  let config = explorer_config config in
+  let all = Array.of_list (all_schedules ()) in
+  let space = Array.length all in
+  let picked =
+    if schedules >= space then Array.to_list all
+    else
+      (* Deterministic stride sample across the lexicographic space. *)
+      List.sort_uniq compare
+        (List.init schedules (fun j -> j * space / schedules))
+      |> List.map (fun i -> all.(i))
+  in
+  let deterministic = ref true in
+  let outcomes =
+    List.mapi
+      (fun index sched ->
+        let o1 = run_schedule config index sched in
+        let o2 = run_schedule config index sched in
+        if render_outcome o1 <> render_outcome o2 then deterministic := false;
+        o1)
+      picked
+  in
+  (* Equivalence: schedules with the same executed synchronization
+     history must account the same work. *)
+  let classes = Hashtbl.create 64 in
+  let consistent = ref true in
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt classes o.signature with
+      | None -> Hashtbl.replace classes o.signature o
+      | Some first ->
+        if
+          first.swept_bytes <> o.swept_bytes
+          || first.released <> o.released
+          || first.requeued <> o.requeued
+        then consistent := false)
+    outcomes;
+  let registry = Obs.Registry.create () in
+  let count name v =
+    Obs.Registry.Counter.incr (Obs.Registry.counter registry name) v
+  in
+  let gauge name v = Obs.Registry.Gauge.set (Obs.Registry.gauge registry name) v in
+  let total f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  count "rc.schedule_space" space;
+  count "rc.schedules_explored" (List.length outcomes);
+  count "rc.violations" (total (fun o -> List.length o.violations));
+  count "rc.races" (total (fun o -> List.length o.races));
+  count "rc.released" (total (fun o -> o.released));
+  count "rc.requeued" (total (fun o -> o.requeued));
+  count "rc.swept_bytes" (total (fun o -> o.swept_bytes));
+  gauge "rc.signature_classes" (Hashtbl.length classes);
+  gauge "rc.deterministic" (if !deterministic then 1 else 0);
+  gauge "rc.consistent" (if !consistent then 1 else 0);
+  let ring = Obs.Trace_ring.create ~capacity:1024 () in
+  List.iter
+    (fun o ->
+      let p = Obs.Trace_ring.enter ~now:o.index Obs.Trace_ring.Race "schedule" in
+      Obs.Trace_ring.exit ring p ~now:o.index ~bytes:o.swept_bytes
+        ~attrs:
+          [
+            ("schedule", o.index);
+            ("violations", List.length o.violations);
+            ("races", List.length o.races);
+          ]
+        ())
+    outcomes;
+  {
+    config_name;
+    space;
+    outcomes;
+    deterministic = !deterministic;
+    consistent = !consistent;
+    registry;
+    ring;
+  }
+
+let violations r = List.concat_map (fun o -> o.violations) r.outcomes
+let races r = List.concat_map (fun o -> o.races) r.outcomes
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "racecheck explore: config=%s space=%d explored=%d\n"
+       r.config_name r.space (List.length r.outcomes));
+  List.iter (fun o -> Buffer.add_string buf (render_outcome o)) r.outcomes;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "summary: violations=%d races=%d classes=%d deterministic=%b \
+        consistent=%b\n"
+       (List.length (violations r))
+       (List.length (races r))
+       (List.length
+          (List.sort_uniq compare (List.map (fun o -> o.signature) r.outcomes)))
+       r.deterministic r.consistent);
+  Buffer.contents buf

@@ -1,0 +1,73 @@
+(** Bounded schedule exploration of the sweep protocol (DPOR-lite).
+
+    Drives a fixed two-mutator script — including a window where a freed
+    object is still reachable from a root — through every (sampled)
+    placement of one or two sweep start/finish boundaries. Boundaries
+    are only placed at commutativity points (after heap-touching steps):
+    placements between pure-compute steps execute identically, so the
+    partial-order reduction skips them.
+
+    Per schedule, three judgments:
+    - {e soundness}: at every observed release, the
+      {!Ptrtrack.Registry} ground truth must hold no pointer to the
+      entry (a violation is the paper's use-after-free reintroduced);
+    - {e race freedom}: the recorded event stream must satisfy
+      {!Hb.analyze} with zero findings;
+    - {e determinism/consistency}: each schedule runs twice and must
+      render identically, and schedules with equal executed signatures
+      must account equal swept bytes and outcomes.
+
+    Results export through {!Obs}: [rc.*] counters/gauges in
+    [registry], one [race]-phase span per schedule in [ring]. *)
+
+type step
+type schedule = (int * int) list
+(** [(start_after_step, finish_after_step)] per sweep, in step order. *)
+
+val script : step array
+val points : int list
+(** Step indices after which a boundary may be placed. *)
+
+val all_schedules : unit -> schedule list
+(** The full bounded space: every single-sweep placement, then every
+    non-overlapping two-sweep placement, lexicographic. *)
+
+type outcome = {
+  index : int;
+  boundaries : schedule;
+  signature : string;  (** executed synchronization history *)
+  swept_bytes : int;
+  released : int;
+  requeued : int;
+  violations : string list;  (** ground-truth soundness failures *)
+  races : Sanitizer.Diagnostic.t list;
+}
+
+type report = {
+  config_name : string;
+  space : int;
+  outcomes : outcome list;
+  deterministic : bool;
+  consistent : bool;
+  registry : Obs.Registry.t;
+  ring : Obs.Trace_ring.t;
+}
+
+val run :
+  ?config:Minesweeper.Config.t ->
+  ?config_name:string ->
+  schedules:int ->
+  unit ->
+  report
+(** Explore up to [schedules] placements (stride-sampled from the full
+    space when it is larger), each executed twice. Auto-sweep triggers
+    are suppressed so sweeps happen exactly at the scheduled
+    boundaries. *)
+
+val violations : report -> string list
+val races : report -> Sanitizer.Diagnostic.t list
+
+val render : report -> string
+(** Deterministic text rendering — byte-identical across repeated runs
+    of the same exploration (the CLI gate compares two runs with
+    [cmp]). *)

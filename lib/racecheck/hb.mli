@@ -1,0 +1,31 @@
+(** Vector-clock happens-before analysis of a sweep-protocol run.
+
+    Consumes the observed total order of {!Event.t}s, reconstructs the
+    happens-before partial order from the protocol's synchronization
+    edges, and reports violations of the release soundness argument
+    (paper Section 5.4: an entry may be recycled only when the mark that
+    proves it unreachable — or the stop-the-world re-scan that patches
+    the mark's blind spots — happened-before the release).
+
+    Edges, per event kind:
+    - program order within each logical thread;
+    - [Lock_in]: the sweeper joins every mutator clock (acquire — the
+      frozen set reflects all earlier frees);
+    - [Fence]: full barrier — the stop-the-world thread joins everyone,
+      then everyone joins it;
+    - [Sweep_done]: every mutator joins the sweeper (release).
+
+    A mutator write during the window that stores a pointer into a
+    locked-in entry is a {e hidden write}: the mark may or may not have
+    seen it. It is safe iff it happened-before the mark's read of its
+    page, or a fence ordered it before the release decision; otherwise
+    [rc-mark-hidden-write] fires with both racing clocks. *)
+
+val rules : (string * string) list
+(** Rule id -> description, mirroring {!Sanitizer.Trace_lint.rules}. All
+    race rules carry severity [Error]. *)
+
+val analyze : threads:int -> Event.t list -> Sanitizer.Diagnostic.t list
+(** Events must be in observed order with monotonically increasing
+    [seq]; diagnostics come back in detection order, [op_index] holding
+    the seq of the racing (or closing) event. *)

@@ -1,0 +1,87 @@
+module Corpus = Sanitizer.Corpus
+
+let threads = 2
+
+let stream ?mutation () =
+  let seq = ref 0 in
+  let evs = ref [] in
+  let emit tid kind =
+    evs := { Event.seq = !seq; tid; kind } :: !evs;
+    incr seq
+  in
+  let m0 = Event.Mutator 0 and m1 = Event.Mutator 1 in
+  let page = Vmem.page_size in
+  let hp = 16 * page in
+  let rp = 32 * page in
+  let a1 = hp + 64 and a2 = hp + 128 in
+  let slot0 = rp and slot1 = rp + 8 in
+  let fenced = mutation <> Some Corpus.Skip_stw_fence in
+  (* Sweep 1: a1 is freed and locked in; while the background mark runs,
+     mutator 1 publishes a1's address into a root slot whose page was
+     already scanned — the canonical hidden write. *)
+  emit m0 (Event.Serve { addr = a1; usable = 64 });
+  emit m1 (Event.Serve { addr = a2; usable = 64 });
+  emit m0 (Event.Write { addr = slot0; value = a2; gen = 0 });
+  emit m0 (Event.Push { raw_thread = 0; addr = a1; usable = 64 });
+  emit m0 (Event.Flush { thread = 0 });
+  emit Event.Sweeper (Event.Lock_in { sweep = 1; entries = [ (a1, 64) ] });
+  emit Event.Sweeper (Event.Mark_read { sweep = 1; base = rp });
+  (match mutation with
+  | Some Corpus.Release_before_mark_done ->
+    (* The mutant recycles a1 while the mark is still running. *)
+    emit Event.Sweeper (Event.Release { sweep = 1; addr = a1 })
+  | _ -> ());
+  emit m1 (Event.Write { addr = slot1; value = a1; gen = 1 });
+  emit Event.Sweeper (Event.Mark_read { sweep = 1; base = hp });
+  emit Event.Sweeper (Event.Mark_done { sweep = 1 });
+  if fenced then begin
+    emit Event.Stw (Event.Fence { sweep = 1 });
+    emit Event.Stw (Event.Rescan_read { sweep = 1; base = rp })
+  end;
+  (match mutation with
+  | None ->
+    (* The re-scan found the hidden pointer: a1 stays quarantined. *)
+    emit Event.Sweeper (Event.Requeue { sweep = 1; addr = a1 })
+  | Some Corpus.Skip_stw_fence ->
+    (* No fence, no re-scan: the hidden pointer goes unseen and the
+       entry is unsoundly recycled. *)
+    emit Event.Sweeper (Event.Release { sweep = 1; addr = a1 })
+  | Some Corpus.Release_before_mark_done -> ()
+  | Some Corpus.Lose_requeued_entry -> ());
+  emit Event.Sweeper (Event.Sweep_done { sweep = 1 });
+  (* Sweep 2: only the well-behaved protocol still holds a1 — the
+     mutator clears the published pointer and the retry releases it. *)
+  if mutation = None then begin
+    emit m1 (Event.Write { addr = slot1; value = 0; gen = 2 });
+    emit Event.Sweeper (Event.Lock_in { sweep = 2; entries = [ (a1, 64) ] });
+    emit Event.Sweeper (Event.Mark_read { sweep = 2; base = rp });
+    emit Event.Sweeper (Event.Mark_read { sweep = 2; base = hp });
+    emit Event.Sweeper (Event.Mark_done { sweep = 2 });
+    emit Event.Stw (Event.Fence { sweep = 2 });
+    emit Event.Sweeper (Event.Release { sweep = 2; addr = a1 });
+    emit Event.Sweeper (Event.Sweep_done { sweep = 2 })
+  end;
+  List.rev !evs
+
+type mutant_result = {
+  name : string;
+  expected : string list;
+  got : string list;
+  passed : bool;
+}
+
+let self_test () =
+  let check name expected mutation =
+    let diags = Hb.analyze ~threads (stream ?mutation ()) in
+    let got =
+      List.sort_uniq compare
+        (List.map (fun d -> d.Sanitizer.Diagnostic.rule) diags)
+    in
+    { name; expected; got; passed = got = expected }
+  in
+  check "unmutated" [] None
+  :: List.map
+       (fun (m : Corpus.protocol_mutant) ->
+         check m.Corpus.mutant_name m.Corpus.expected_race_rules
+           (Some m.Corpus.mutation))
+       Corpus.protocol_mutants

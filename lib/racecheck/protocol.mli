@@ -1,0 +1,27 @@
+(** Hand-written sweep-protocol runs: the checker's positive control.
+
+    Emulates two sweeps of a two-mutator stack as an {!Event.t} stream —
+    including the canonical hidden write (a mutator republishing a
+    locked-in address onto a page the mark already scanned) that the
+    stop-the-world fence exists to cover. The unmutated stream must be
+    race-free; each {!Sanitizer.Corpus.protocol_mutation} breaks exactly
+    one synchronization obligation and {!Hb.analyze} must flag exactly
+    the rules the corpus declares. *)
+
+val threads : int
+(** Mutator count of the emulated runs (2). *)
+
+val stream :
+  ?mutation:Sanitizer.Corpus.protocol_mutation -> unit -> Event.t list
+(** The canonical run, optionally with one mutation applied. *)
+
+type mutant_result = {
+  name : string;
+  expected : string list;  (** rules the corpus declares *)
+  got : string list;  (** sorted distinct rules the analysis raised *)
+  passed : bool;
+}
+
+val self_test : unit -> mutant_result list
+(** The unmutated stream (expected clean) followed by every corpus
+    mutant. [check --races --corpus] fails unless all pass. *)

@@ -1,0 +1,59 @@
+(** Record a live stack's synchronization events and race-check them.
+
+    A {!session} subscribes to all four instrumentation hooks of one
+    instance — {!Vmem.set_write_observer} (mutator stores, kept only
+    inside the sweep window), {!Minesweeper.Quarantine.set_observer}
+    (pushes, flushes, lock-in, per-entry outcomes),
+    {!Minesweeper.Instance.set_sync_observer} (sweep boundaries, mark
+    completion, the stop-the-world fence) and
+    {!Alloc.Jemalloc.set_observer} (serves) — and linearises them into
+    one {!Event.t} stream for {!Hb.analyze}. The {!Explorer} drives its
+    schedules through the same session type.
+
+    {!run} replays a {!Workloads.Trace.t} against a fresh instance under
+    observation, analyses the stream, publishes [rc.*] counters into the
+    instance registry and one [race] span per finding into its trace
+    ring, and returns the findings. A well-behaved trace must come back
+    clean under every preset: the generator never republishes a freed
+    address, so no window write can hide a locked-in pointer. *)
+
+type session
+
+val attach :
+  ?on_event:(Event.t -> unit) ->
+  Minesweeper.Instance.t ->
+  threads:int ->
+  session
+(** Install the observers (each hook holds at most one subscriber —
+    attaching replaces any previous one). [on_event] additionally sees
+    every event synchronously as it is recorded. *)
+
+val detach : session -> unit
+(** Remove all four observers. *)
+
+val events : session -> Event.t list
+(** Everything recorded so far, in observed order. *)
+
+val set_thread : session -> int -> unit
+(** Declare which mutator issues the ops that follow (events from hooks
+    fired on the mutator's behalf are attributed to it; out-of-range ids
+    alias mutator 0, mirroring the quarantine). *)
+
+type report = {
+  trace_name : string;
+  config_name : string;
+  threads : int;
+  ops : int;
+  sweeps : int;
+  events : int;  (** recorded synchronization events *)
+  window_writes : int;  (** mutator stores inside sweep windows *)
+  diags : Sanitizer.Diagnostic.t list;
+}
+
+val run :
+  ?config:Minesweeper.Config.t ->
+  ?config_name:string ->
+  Workloads.Trace.t ->
+  report
+(** Replay under observation and analyse; deterministic in the trace and
+    config. *)

@@ -1,0 +1,24 @@
+type t = int array
+
+let create n = Array.make n 0
+let copy = Array.copy
+let size = Array.length
+let get c i = c.(i)
+let tick c i = c.(i) <- c.(i) + 1
+
+let join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_string c =
+  "<"
+  ^ String.concat "," (Array.to_list (Array.map string_of_int c))
+  ^ ">"

@@ -1,0 +1,31 @@
+(** Fixed-width vector clocks over the logical threads of one run.
+
+    A clock has one component per logical thread ({!Event.tid_count} of
+    them: the mutators, the sweeper, and the stop-the-world "thread").
+    The usual lattice operations apply: an event [a] happens before [b]
+    iff [leq a.clock b.clock]; two events race iff their clocks are
+    {!concurrent}. *)
+
+type t
+
+val create : int -> t
+(** All-zero clock of the given width. *)
+
+val copy : t -> t
+val size : t -> int
+val get : t -> int -> int
+
+val tick : t -> int -> unit
+(** Advance component [i] — a thread performing its next event. *)
+
+val join : t -> t -> unit
+(** [join dst src] folds [src] into [dst] componentwise (max). *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: the happens-before order. *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]: a race candidate. *)
+
+val to_string : t -> string
+(** ["<3,0,1,...>"] — used verbatim in race diagnostics. *)

@@ -34,6 +34,43 @@ let cases =
     case "uaf-chain"
       [ "double-free"; "store-after-free"; "unclear-before-free" ]
       "a 0 64\na 1 64\np f 1 0 0\nx 0\nd f 0 2 9\nx 0\nx 1\n";
+    (* the trace declares 2 threads but frees from thread 5: the
+       quarantine aliases the push to buffer 0 *)
+    case "free-thread-out-of-range" [ "free-thread-out-of-range" ]
+      "# threads 2\na 0 64\nx 0 5\n";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol mutants                                                    *)
+
+type protocol_mutation =
+  | Skip_stw_fence
+  | Release_before_mark_done
+  | Lose_requeued_entry
+
+type protocol_mutant = {
+  mutant_name : string;
+  mutation : protocol_mutation;
+  expected_race_rules : string list;
+}
+
+let protocol_mutants =
+  [
+    {
+      mutant_name = "skip-stw-fence";
+      mutation = Skip_stw_fence;
+      expected_race_rules = [ "rc-mark-hidden-write" ];
+    };
+    {
+      mutant_name = "release-before-mark-done";
+      mutation = Release_before_mark_done;
+      expected_race_rules = [ "rc-early-release" ];
+    };
+    {
+      mutant_name = "lose-requeued-entry";
+      mutation = Lose_requeued_entry;
+      expected_race_rules = [ "rc-lost-entry" ];
+    };
   ]
 
 let well_behaved ?(seeds = [ 1; 2 ]) ?(scale = 0.05) () =

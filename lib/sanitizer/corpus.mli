@@ -26,3 +26,31 @@ val well_behaved :
 (** Stock mimalloc-bench traces (default seeds [[1; 2]], op counts
     scaled by [scale], default [0.05]) on which the lint must produce
     zero diagnostics. *)
+
+(** {1 Protocol mutants}
+
+    Known-bad variants of the sweep protocol itself, described
+    declaratively so this library needs no dependency on the race
+    checker: {!Racecheck.Protocol} interprets each mutation when
+    emulating a sweep's synchronization-event stream, and the
+    happens-before analysis must raise exactly the expected rules.
+    [check --races --corpus] and the test suite replay all of them. *)
+
+type protocol_mutation =
+  | Skip_stw_fence
+      (** Mostly-concurrent mode without the stop-the-world re-scan: a
+          pointer hidden by a mutator write during marking is missed. *)
+  | Release_before_mark_done
+      (** An entry is released while the background mark is still
+          running — its proof of unreachability does not exist yet. *)
+  | Lose_requeued_entry
+      (** A blocked entry is dropped instead of requeued: it never
+          reaches a later sweep and leaks out of the protocol. *)
+
+type protocol_mutant = {
+  mutant_name : string;
+  mutation : protocol_mutation;
+  expected_race_rules : string list;  (** sorted, duplicate-free *)
+}
+
+val protocol_mutants : protocol_mutant list

@@ -131,7 +131,7 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
           (fun ~slot:_ ~target:_ -> ());
         Hashtbl.replace addr_of id (addr, size);
         Instance.tick ms
-      | Trace.Free { id } -> (
+      | Trace.Free { id; thread = _ } -> (
         match Hashtbl.find_opt addr_of id with
         | Some (addr, _) ->
           Hashtbl.remove addr_of id;

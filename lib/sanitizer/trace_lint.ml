@@ -13,6 +13,9 @@ let rules =
        dangling-pointer precondition)" );
     ( "field-out-of-range",
       "word index beyond the holder (or root window); the replay wraps it" );
+    ( "free-thread-out-of-range",
+      "free issued from a thread id outside the trace's declared thread \
+       count; the quarantine silently aliases it to buffer 0" );
   ]
 
 type id_state =
@@ -162,7 +165,16 @@ let lint (trace : Trace.t) =
             (Printf.sprintf "id %d was already used (freed at op %d)" id at)
         | None -> ());
         Hashtbl.replace st.ids id (Live { size; at = op_index })
-      | Trace.Free { id } -> (
+      | Trace.Free { id; thread } -> (
+        if thread < 0 || thread >= trace.Trace.threads then
+          report st ~rule:"free-thread-out-of-range"
+            ~severity:Diagnostic.Warning ~op_index
+            (Printf.sprintf
+               "free of id %d from thread %d, but the trace declares %d \
+                thread%s — the quarantine aliases it to buffer 0, silently \
+                serialising the push"
+               id thread trace.Trace.threads
+               (if trace.Trace.threads = 1 then "" else "s"));
         match Hashtbl.find_opt st.ids id with
         | None ->
           report st ~rule:"free-unallocated" ~severity:Diagnostic.Error

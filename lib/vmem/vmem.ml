@@ -25,6 +25,7 @@ type t = {
   mutable committed : int; (* resident bytes *)
   mutable demand_commit_hook : pages:int -> unit;
   mutable generation : int; (* current scan generation (see mli) *)
+  mutable write_observer : (addr:int -> value:int -> gen:int -> unit) option;
 }
 
 let create () =
@@ -33,6 +34,7 @@ let create () =
     committed = 0;
     demand_commit_hook = (fun ~pages:_ -> ());
     generation = 0;
+    write_observer = None;
   }
 
 let generation t = t.generation
@@ -42,6 +44,8 @@ let advance_generation t =
   t.generation
 
 let set_demand_commit_hook t f = t.demand_commit_hook <- f
+let set_write_observer t f = t.write_observer <- Some f
+let clear_write_observer t = t.write_observer <- None
 
 let page_index addr = addr / page_size
 let page_base addr = addr - (addr mod page_size)
@@ -170,7 +174,10 @@ let store t addr w =
   let p = writable_page t addr in
   Bytes.set_int64_le (page_bytes p) (addr mod page_size) (Int64.of_int w);
   p.soft_dirty <- true;
-  p.write_gen <- t.generation
+  p.write_gen <- t.generation;
+  match t.write_observer with
+  | None -> ()
+  | Some f -> f ~addr ~value:w ~gen:p.write_gen
 
 let zero_range t ~addr ~len =
   if len > 0 then begin

@@ -41,6 +41,17 @@ val set_demand_commit_hook : t -> (pages:int -> unit) -> unit
 (** Called whenever an access demand-commits decommitted pages, so the
     caller can charge page-fault costs. *)
 
+val set_write_observer :
+  t -> (addr:int -> value:int -> gen:int -> unit) -> unit
+(** Observe every word {!store} (address, stored value, and the page's
+    resulting write generation). [zero_range] is deliberately not
+    observed: it only ever writes zeros, which can never encode a heap
+    pointer. Used by the race checker ({!Racecheck}) to attribute
+    mutator writes to pages with their dirty-generation ordering edge;
+    at most one observer is active. *)
+
+val clear_write_observer : t -> unit
+
 (** {1 Mapping and physical backing} *)
 
 val map : t -> addr:int -> len:int -> unit

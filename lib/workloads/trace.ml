@@ -7,11 +7,12 @@ type op =
   | Store_ptr of { loc : location; target : int }
   | Clear_ptr of { loc : location; target : int }
   | Store_data of { loc : location; value : int }
-  | Free of { id : int }
+  | Free of { id : int; thread : int }
   | Work of int
 
 type t = {
   name : string;
+  threads : int;
   ops : op array;
 }
 
@@ -58,7 +59,7 @@ let generate ?(seed = 1) profile =
                 emit (Clear_ptr { loc; target = id }))
             (Option.value ~default:[] (Hashtbl.find_opt refs id));
           Hashtbl.remove refs id;
-          emit (Free { id });
+          emit (Free { id; thread = 0 });
           live := List.filter (fun (x, _) -> x <> id) !live;
           decr live_count)
         ids
@@ -99,7 +100,8 @@ let generate ?(seed = 1) profile =
     end;
     emit (Work profile.Profile.work_per_op)
   done;
-  { name = profile.Profile.name; ops = Array.of_list (List.rev !ops) }
+  { name = profile.Profile.name; threads = 1;
+    ops = Array.of_list (List.rev !ops) }
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
@@ -128,11 +130,11 @@ let replay t (stack : Harness.t) =
         let addr = stack.Harness.malloc size in
         Hashtbl.replace addr_of id (addr, size);
         stack.Harness.tick ()
-      | Free { id } ->
+      | Free { id; thread } ->
         (match Hashtbl.find_opt addr_of id with
         | Some (addr, _) ->
           Hashtbl.remove addr_of id;
-          stack.Harness.free ~thread:0 addr
+          stack.Harness.free ~thread addr
         | None -> ())
       | Store_ptr { loc; target } ->
         (match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
@@ -177,12 +179,16 @@ let loc_to_string = function
 let to_string t =
   let buffer = Buffer.create (Array.length t.ops * 12) in
   Buffer.add_string buffer (Printf.sprintf "# msweep-trace v1 %s\n" t.name);
+  if t.threads <> 1 then
+    Buffer.add_string buffer (Printf.sprintf "# threads %d\n" t.threads);
   Array.iter
     (fun op ->
       Buffer.add_string buffer
         (match op with
         | Alloc { id; size } -> Printf.sprintf "a %d %d\n" id size
-        | Free { id } -> Printf.sprintf "x %d\n" id
+        | Free { id; thread } ->
+          if thread = 0 then Printf.sprintf "x %d\n" id
+          else Printf.sprintf "x %d %d\n" id thread
         | Store_ptr { loc; target } ->
           Printf.sprintf "p %s %d\n" (loc_to_string loc) target
         | Clear_ptr { loc; target } ->
@@ -199,6 +205,7 @@ let parse_error line_no what =
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let name = ref "trace" in
+  let threads = ref 1 in
   let ops = ref [] in
   List.iteri
     (fun idx line ->
@@ -215,10 +222,17 @@ let of_string s =
       | [] -> ()
       | "#" :: "msweep-trace" :: "v1" :: rest ->
         if rest <> [] then name := String.concat " " rest
+      | [ "#"; "threads"; n ] ->
+        let n = int_at "threads" n in
+        if n < 1 then parse_error line_no "threads must be >= 1";
+        threads := n
       | "#" :: _ -> ()
       | [ "a"; id; size ] ->
         ops := Alloc { id = int_at "id" id; size = int_at "size" size } :: !ops
-      | [ "x"; id ] -> ops := Free { id = int_at "id" id } :: !ops
+      | [ "x"; id ] -> ops := Free { id = int_at "id" id; thread = 0 } :: !ops
+      | [ "x"; id; thread ] ->
+        ops :=
+          Free { id = int_at "id" id; thread = int_at "thread" thread } :: !ops
       | [ "w"; cycles ] -> ops := Work (int_at "cycles" cycles) :: !ops
       | [ kind; "r"; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
         let loc = Root (int_at "word" w) in
@@ -240,7 +254,7 @@ let of_string s =
           :: !ops
       | _ -> parse_error line_no ("unrecognised op: " ^ line))
     lines;
-  { name = !name; ops = Array.of_list (List.rev !ops) }
+  { name = !name; threads = !threads; ops = Array.of_list (List.rev !ops) }
 
 let to_file t path =
   let oc = open_out path in

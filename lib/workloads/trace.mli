@@ -20,11 +20,18 @@ type op =
           [target] *)
   | Store_data of { loc : location; value : int }
       (** raw data write (never instrumented) *)
-  | Free of { id : int }
+  | Free of { id : int; thread : int }
+      (** free issued from logical thread [thread] — selects the
+          quarantine's thread-local buffer at replay. Ids outside
+          [0, threads) alias buffer 0 (flagged by the
+          [free-thread-out-of-range] lint rule). *)
   | Work of int  (** application compute, cycles *)
 
 type t = {
   name : string;
+  threads : int;
+      (** declared mutator thread count; serialised as a [# threads N]
+          header line (omitted, and 1, for single-threaded traces) *)
   ops : op array;
 }
 

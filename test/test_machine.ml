@@ -34,6 +34,24 @@ let test_sink_restored () =
   Alcotest.(check bool) "sink restored after exception" true
     (m.Alloc.Machine.sink = Alloc.Machine.App)
 
+let test_nested_sink_restored () =
+  (* An exception escaping an inner with_sink must restore the OUTER
+     sink, not App: each level unwinds exactly one switch. *)
+  let m = Alloc.Machine.create () in
+  Alloc.Machine.with_sink m Alloc.Machine.Background (fun () ->
+      (try
+         Alloc.Machine.with_sink m Alloc.Machine.Stall (fun () ->
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "inner unwind restores Background" true
+        (m.Alloc.Machine.sink = Alloc.Machine.Background);
+      Alloc.Machine.charge m 7);
+  Alcotest.(check int) "charge after unwind lands in background" 7
+    (Sim.Clock.background_busy m.Alloc.Machine.clock);
+  Alcotest.(check int) "nothing stalled" 0 (Sim.Clock.stalled m.Alloc.Machine.clock);
+  Alcotest.(check bool) "outer unwind restores App" true
+    (m.Alloc.Machine.sink = Alloc.Machine.App)
+
 let test_charge_bytes () =
   let m = Alloc.Machine.create () in
   Alloc.Machine.charge_bytes m 0.5 1000;
@@ -72,6 +90,8 @@ let suite =
       Alcotest.test_case "background sink" `Quick test_background_sink;
       Alcotest.test_case "stall sink" `Quick test_stall_sink;
       Alcotest.test_case "sink restored on exception" `Quick test_sink_restored;
+      Alcotest.test_case "nested sink restored on exception" `Quick
+        test_nested_sink_restored;
       Alcotest.test_case "charge_bytes" `Quick test_charge_bytes;
       Alcotest.test_case "demand commit charges fault" `Quick
         test_demand_commit_charges_fault;

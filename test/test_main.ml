@@ -28,6 +28,7 @@ let () =
       Test_workloads.suite;
       Test_trace.suite;
       Test_sanitizer.suite;
+      Test_racecheck.suite;
       Test_attack.suite;
       Test_report.suite;
       Test_experiments.suite;

@@ -127,7 +127,8 @@ let test_phase_names () =
         (Printf.sprintf "phase %s round-trips" (Ring.phase_name phase))
         true
         (Ring.phase_of_name (Ring.phase_name phase) = Some phase))
-    [ Ring.Mark; Ring.Scan; Ring.Purge; Ring.Quarantine; Ring.Alloc_slow ];
+    [ Ring.Mark; Ring.Scan; Ring.Purge; Ring.Quarantine; Ring.Alloc_slow;
+      Ring.Race ];
   Alcotest.(check bool) "unknown phase name" true
     (Ring.phase_of_name "bogus" = None)
 

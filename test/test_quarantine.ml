@@ -80,6 +80,58 @@ let test_requeue_failed_accounting () =
   let again = Minesweeper.Quarantine.lock_in q in
   Alcotest.(check int) "retried" 1 (List.length again)
 
+let test_requeue_across_two_sweeps () =
+  (* The failed list's contract across consecutive sweeps: a blocked
+     entry is retried exactly once per lock_in — never dropped, never
+     duplicated — and fresh pushes arriving between the sweeps ride the
+     same retry without disturbing it. *)
+  let _, q = fresh () in
+  let a = entry 0x1000 64 and b = entry 0x2000 32 and c = entry 0x3000 16 in
+  List.iter (Minesweeper.Quarantine.push q ~thread:0) [ a; b; c ];
+  (* Sweep 1: a and b stay referenced, c releases. *)
+  let locked1 = Minesweeper.Quarantine.lock_in q in
+  Alcotest.(check int) "sweep 1 locks all three" 3 (List.length locked1);
+  Minesweeper.Quarantine.requeue_failed q a;
+  Minesweeper.Quarantine.requeue_failed q b;
+  Minesweeper.Quarantine.release q c;
+  let failed_now =
+    let acc = ref [] in
+    Minesweeper.Quarantine.iter_failed q (fun e ->
+        acc := e.Minesweeper.Quarantine.addr :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list int)) "iter_failed sees exactly the requeued pair"
+    [ 0x1000; 0x2000 ] failed_now;
+  Alcotest.(check int) "one failure recorded on each" 1
+    a.Minesweeper.Quarantine.failures;
+  (* A fresh free lands between the sweeps. *)
+  let d = entry 0x4000 8 in
+  Minesweeper.Quarantine.push q ~thread:0 d;
+  (* Sweep 2 locks the carried-over failures plus the fresh entry, each
+     exactly once, and empties the failed list. *)
+  let locked2 =
+    List.sort compare
+      (List.map
+         (fun e -> e.Minesweeper.Quarantine.addr)
+         (Minesweeper.Quarantine.lock_in q))
+  in
+  Alcotest.(check (list int)) "sweep 2 retries both failures plus the push"
+    [ 0x1000; 0x2000; 0x4000 ] locked2;
+  Minesweeper.Quarantine.iter_failed q (fun _ ->
+      Alcotest.fail "failed list must be empty right after lock_in");
+  (* b releases this time; a fails again and its count keeps growing. *)
+  Minesweeper.Quarantine.requeue_failed q a;
+  Minesweeper.Quarantine.release q b;
+  Minesweeper.Quarantine.release q d;
+  Alcotest.(check int) "second failure accumulates" 2
+    a.Minesweeper.Quarantine.failures;
+  Alcotest.(check int) "only a's bytes still pending" 64
+    (Minesweeper.Quarantine.failed_bytes q);
+  Alcotest.(check bool) "released entries forgotten" false
+    (Minesweeper.Quarantine.contains q 0x2000);
+  Alcotest.(check bool) "failed entry still quarantined" true
+    (Minesweeper.Quarantine.contains q 0x1000)
+
 let test_unmapped_accounting () =
   let _, q = fresh () in
   Minesweeper.Quarantine.push q ~thread:0 (entry ~unmapped:4096 0x1000 5000);
@@ -182,6 +234,8 @@ let suite =
       Alcotest.test_case "release forgets" `Quick test_release_forgets;
       Alcotest.test_case "requeue failed accounting" `Quick
         test_requeue_failed_accounting;
+      Alcotest.test_case "requeue across two sweeps" `Quick
+        test_requeue_across_two_sweeps;
       Alcotest.test_case "unmapped accounting" `Quick test_unmapped_accounting;
       Alcotest.test_case "entry count" `Quick test_entry_count;
       Alcotest.test_case "double-free dedup on a live instance" `Quick

@@ -1,0 +1,191 @@
+(* Race checker tests: vector clocks, the happens-before rules against
+   hand-built streams, the protocol mutant corpus, the live recorder,
+   and the bounded schedule explorer. *)
+
+module Event = Racecheck.Event
+module Vclock = Racecheck.Vclock
+module Hb = Racecheck.Hb
+module Protocol = Racecheck.Protocol
+module Recorder = Racecheck.Recorder
+module Explorer = Racecheck.Explorer
+module Diagnostic = Sanitizer.Diagnostic
+
+let rules_of diags =
+  List.sort_uniq compare (List.map (fun d -> d.Diagnostic.rule) diags)
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks *)
+
+let test_vclock_order () =
+  let a = Vclock.create 3 and b = Vclock.create 3 in
+  Alcotest.(check bool) "zero <= zero" true (Vclock.leq a b);
+  Vclock.tick a 0;
+  Alcotest.(check bool) "b <= a" true (Vclock.leq b a);
+  Alcotest.(check bool) "not a <= b" false (Vclock.leq a b);
+  Vclock.tick b 1;
+  Alcotest.(check bool) "ticks on different components race" true
+    (Vclock.concurrent a b);
+  Vclock.join b a;
+  Alcotest.(check bool) "after join a <= b" true (Vclock.leq a b);
+  Alcotest.(check bool) "join keeps own component" true (Vclock.get b 1 = 1);
+  Alcotest.(check string) "rendering" "<1,1,0>" (Vclock.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before rules on hand-built streams *)
+
+let ev seq tid kind = { Event.seq; tid; kind }
+
+let test_hb_reuse_quarantined () =
+  let diags =
+    Hb.analyze ~threads:1
+      [
+        ev 0 (Event.Mutator 0)
+          (Event.Push { raw_thread = 0; addr = 0x5000; usable = 64 });
+        ev 1 (Event.Mutator 0) (Event.Serve { addr = 0x5000; usable = 64 });
+      ]
+  in
+  Alcotest.(check (list string)) "serve of quarantined addr flagged"
+    [ "rc-reuse-quarantined" ] (rules_of diags)
+
+let test_hb_release_after_mark_clean () =
+  let s = Event.Sweeper in
+  let diags =
+    Hb.analyze ~threads:1
+      [
+        ev 0 (Event.Mutator 0)
+          (Event.Push { raw_thread = 0; addr = 0x5000; usable = 64 });
+        ev 1 s (Event.Lock_in { sweep = 1; entries = [ (0x5000, 64) ] });
+        ev 2 s (Event.Mark_done { sweep = 1 });
+        ev 3 s (Event.Release { sweep = 1; addr = 0x5000 });
+        ev 4 s (Event.Sweep_done { sweep = 1 });
+      ]
+  in
+  Alcotest.(check (list string)) "ordered release is clean" [] (rules_of diags)
+
+let test_hb_every_rule_documented () =
+  List.iter
+    (fun (rule, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s documented" rule)
+        true
+        (List.mem_assoc rule Hb.rules))
+    Hb.rules;
+  Alcotest.(check int) "four race rules" 4 (List.length Hb.rules)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol emulator and the mutant corpus *)
+
+let test_protocol_mutants () =
+  let results = Protocol.self_test () in
+  Alcotest.(check int) "unmutated plus every corpus mutant"
+    (1 + List.length Sanitizer.Corpus.protocol_mutants)
+    (List.length results);
+  List.iter
+    (fun (r : Protocol.mutant_result) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "mutant %s raises exactly its rules" r.name)
+        r.expected r.got)
+    results
+
+let test_protocol_rules_are_known () =
+  (* Every rule a corpus mutant expects must be a documented Hb rule. *)
+  List.iter
+    (fun (m : Sanitizer.Corpus.protocol_mutant) ->
+      List.iter
+        (fun rule ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s expects documented rule %s" m.mutant_name rule)
+            true
+            (List.mem_assoc rule Hb.rules))
+        m.expected_race_rules)
+    Sanitizer.Corpus.protocol_mutants
+
+(* ------------------------------------------------------------------ *)
+(* Recorder on live stacks *)
+
+let small_trace seed =
+  Workloads.Trace.generate ~seed
+    (Workloads.Profile.scale_ops 0.02 (List.hd Workloads.Mimalloc_bench.all))
+
+let test_recorder_clean_on_seeded_trace () =
+  List.iter
+    (fun (config_name, config) ->
+      let r = Recorder.run ~config ~config_name (small_trace 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "no races under %s" config_name)
+        0
+        (List.length r.Recorder.diags);
+      Alcotest.(check bool)
+        (Printf.sprintf "sweeps happened under %s" config_name)
+        true (r.Recorder.sweeps > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "events recorded under %s" config_name)
+        true (r.Recorder.events > 0))
+    [
+      ("default", Minesweeper.Config.default);
+      ("mostly", Minesweeper.Config.mostly_concurrent);
+    ]
+
+let test_recorder_deterministic () =
+  let render (r : Recorder.report) =
+    Printf.sprintf "%d/%d/%d/%d" r.Recorder.sweeps r.Recorder.events
+      r.Recorder.window_writes
+      (List.length r.Recorder.diags)
+  in
+  let r1 = Recorder.run ~config:Minesweeper.Config.mostly_concurrent (small_trace 2) in
+  let r2 = Recorder.run ~config:Minesweeper.Config.mostly_concurrent (small_trace 2) in
+  Alcotest.(check string) "two identical replays record identically"
+    (render r1) (render r2)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer *)
+
+let test_explorer_sound_and_deterministic () =
+  let r = Explorer.run ~config_name:"mostly" ~schedules:24 () in
+  Alcotest.(check int) "explored what was asked" 24
+    (List.length r.Explorer.outcomes);
+  Alcotest.(check (list string)) "no ground-truth violations" []
+    (Explorer.violations r);
+  Alcotest.(check int) "no races in any schedule" 0
+    (List.length (Explorer.races r));
+  Alcotest.(check bool) "double runs render identically" true
+    r.Explorer.deterministic;
+  Alcotest.(check bool) "equal signatures account equally" true
+    r.Explorer.consistent;
+  (* The dangling window in the script must actually exercise both
+     outcomes across the sampled schedules. *)
+  let released = List.fold_left (fun a o -> a + o.Explorer.released) 0 r.Explorer.outcomes in
+  let requeued = List.fold_left (fun a o -> a + o.Explorer.requeued) 0 r.Explorer.outcomes in
+  Alcotest.(check bool) "some schedule released" true (released > 0);
+  Alcotest.(check bool) "some schedule requeued" true (requeued > 0);
+  (* One span per schedule landed in the explorer's ring. *)
+  Alcotest.(check int) "rc spans exported" 24
+    (List.length (Obs.Trace_ring.spans r.Explorer.ring))
+
+let test_explorer_render_stable () =
+  let r1 = Explorer.run ~config_name:"mostly" ~schedules:8 () in
+  let r2 = Explorer.run ~config_name:"mostly" ~schedules:8 () in
+  Alcotest.(check string) "render byte-identical across runs"
+    (Explorer.render r1) (Explorer.render r2)
+
+let suite =
+  ( "racecheck",
+    [
+      Alcotest.test_case "vclock order" `Quick test_vclock_order;
+      Alcotest.test_case "hb reuse-quarantined" `Quick test_hb_reuse_quarantined;
+      Alcotest.test_case "hb ordered release clean" `Quick
+        test_hb_release_after_mark_clean;
+      Alcotest.test_case "hb rules documented" `Quick
+        test_hb_every_rule_documented;
+      Alcotest.test_case "protocol mutants" `Quick test_protocol_mutants;
+      Alcotest.test_case "protocol rules known" `Quick
+        test_protocol_rules_are_known;
+      Alcotest.test_case "recorder clean on seeded trace" `Quick
+        test_recorder_clean_on_seeded_trace;
+      Alcotest.test_case "recorder deterministic" `Quick
+        test_recorder_deterministic;
+      Alcotest.test_case "explorer sound and deterministic" `Quick
+        test_explorer_sound_and_deterministic;
+      Alcotest.test_case "explorer render stable" `Quick
+        test_explorer_render_stable;
+    ] )

@@ -40,6 +40,36 @@ let test_roundtrip () =
   Alcotest.(check string) "name preserved" "trace-test"
     parsed.Workloads.Trace.name
 
+let test_threads_header_roundtrip () =
+  let text = "# msweep-trace v1 mt\n# threads 3\na 0 64\nx 0 2\na 1 32\nx 1\n" in
+  let t = Workloads.Trace.of_string text in
+  Alcotest.(check int) "threads parsed" 3 t.Workloads.Trace.threads;
+  (match t.Workloads.Trace.ops.(1) with
+  | Workloads.Trace.Free { id; thread } ->
+    Alcotest.(check int) "free id" 0 id;
+    Alcotest.(check int) "free thread" 2 thread
+  | _ -> Alcotest.fail "op 1 should be a free");
+  (match t.Workloads.Trace.ops.(3) with
+  | Workloads.Trace.Free { thread; _ } ->
+    Alcotest.(check int) "thread defaults to 0" 0 thread
+  | _ -> Alcotest.fail "op 3 should be a free");
+  let reparsed = Workloads.Trace.of_string (Workloads.Trace.to_string t) in
+  Alcotest.(check int) "threads survive roundtrip" 3
+    reparsed.Workloads.Trace.threads;
+  Alcotest.(check string) "text roundtrip with header"
+    (Workloads.Trace.to_string t)
+    (Workloads.Trace.to_string reparsed);
+  (* Single-threaded traces keep the compact form: no header, no
+     thread column. *)
+  let single = Workloads.Trace.generate tiny_profile in
+  let contains_threads_header s =
+    List.exists
+      (fun line -> String.length line >= 9 && String.sub line 0 9 = "# threads")
+      (String.split_on_char '\n' s)
+  in
+  Alcotest.(check bool) "no header for 1 thread" false
+    (contains_threads_header (Workloads.Trace.to_string single))
+
 let test_roundtrip_property () =
   (* Round-trip must hold structurally (not just textually) across
      generator profiles and seeds: every op survives serialisation. *)
@@ -170,6 +200,8 @@ let suite =
       Alcotest.test_case "generate deterministic" `Quick
         test_generate_deterministic;
       Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "threads header roundtrip" `Quick
+        test_threads_header_roundtrip;
       Alcotest.test_case "roundtrip across seeds and profiles" `Quick
         test_roundtrip_property;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
