@@ -62,6 +62,22 @@ let scheme_of_string = function
     Workloads.Harness.Scudo_sweeper (ms_config "default")
   | s -> invalid_arg ("unknown scheme " ^ s)
 
+(* --domains overrides the marker-domain count of any MineSweeper-family
+   scheme (the parallel marking engine, lib/parsweep); other schemes
+   have no marking phase to parallelise. *)
+let apply_domains n scheme =
+  if n <= 1 then scheme
+  else
+    match scheme with
+    | Workloads.Harness.Mine_sweeper c ->
+      Workloads.Harness.Mine_sweeper (Minesweeper.Config.with_domains n c)
+    | Workloads.Harness.Scudo_sweeper c ->
+      Workloads.Harness.Scudo_sweeper (Minesweeper.Config.with_domains n c)
+    | Workloads.Harness.Dl_sweeper c ->
+      Workloads.Harness.Dl_sweeper (Minesweeper.Config.with_domains n c)
+    | _ ->
+      invalid_arg "--domains only applies to MineSweeper-family schemes"
+
 let mb x = float_of_int x /. 1048576.
 
 let print_result (r : Workloads.Driver.result) =
@@ -100,6 +116,15 @@ let scheme_arg =
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Trace length scale")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for the marking phase (1 = the sequential scan; \
+           n > 1 shards readable pages across n OCaml domains with \
+           identical results)")
+
 let list_cmd =
   let doc = "List available benchmarks" in
   let f () =
@@ -113,15 +138,17 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Run one benchmark under one scheme" in
-  let f suite bench scheme scale =
+  let f suite bench scheme scale domains =
     let profile = find_profile suite bench in
     let r =
-      Workloads.Driver.run ~ops_scale:scale profile (scheme_of_string scheme)
+      Workloads.Driver.run ~ops_scale:scale profile
+        (apply_domains domains (scheme_of_string scheme))
     in
     print_result r
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg)
+    Term.(
+      const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ domains_arg)
 
 (* Run a benchmark while holding on to the stack that served it, so the
    telemetry registry and span ring survive for export after the run. *)
@@ -131,7 +158,7 @@ let run_capturing ~suite ~bench ~scheme ~scale =
   let result =
     Workloads.Driver.run ~ops_scale:scale
       ~on_build:(fun stack -> captured := Some stack)
-      profile (scheme_of_string scheme)
+      profile scheme
   in
   match !captured with
   | Some stack -> (result, stack)
@@ -155,16 +182,57 @@ let bench_cmd =
       & opt (some string) None
       & info [ "spans-out" ] ~doc:"Also write the span ring (JSONL) here")
   in
-  let f suite bench scheme scale metrics_out spans_out =
-    let result, stack = run_capturing ~suite ~bench ~scheme ~scale in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ]
+          ~doc:
+            "Run the benchmark N times and report the median host \
+             wall-clock time. The simulation is deterministic — every \
+             repeat must land on the same simulated cycle count (verified) \
+             — so repeats denoise only the host-side timing that the \
+             speedup figures are guarded against.")
+  in
+  let f suite bench scheme scale domains repeat metrics_out spans_out =
+    let scheme = apply_domains domains (scheme_of_string scheme) in
+    let repeat = max 1 repeat in
+    let timed =
+      Array.init repeat (fun _ ->
+          let t0 = Sys.time () in
+          let result, stack = run_capturing ~suite ~bench ~scheme ~scale in
+          (Sys.time () -. t0, result, stack))
+    in
+    let _, result, stack = timed.(0) in
+    Array.iter
+      (fun (_, (r : Workloads.Driver.result), _) ->
+        if r.Workloads.Driver.wall <> result.Workloads.Driver.wall then begin
+          Fmt.epr
+            "FAIL: repeats diverged on the simulated clock (%d vs %d cycles)@."
+            r.Workloads.Driver.wall result.Workloads.Driver.wall;
+          exit 1
+        end)
+      timed;
     print_result result;
+    if repeat > 1 then begin
+      let times = Array.map (fun (dt, _, _) -> dt) timed in
+      Array.sort compare times;
+      let median =
+        if repeat mod 2 = 1 then times.(repeat / 2)
+        else (times.((repeat / 2) - 1) +. times.(repeat / 2)) /. 2.0
+      in
+      Fmt.pr "host wall      %.1f ms median of %d (min %.1f, max %.1f)@."
+        (median *. 1e3) repeat
+        (times.(0) *. 1e3)
+        (times.(repeat - 1) *. 1e3)
+    end;
     (match (metrics_out, stack.Workloads.Harness.obs) with
     | Some file, Some reg ->
       Obs.Export.write_file file (Obs.Export.metrics_to_string reg);
       Fmt.pr "metrics        %s (%d metrics)@." file
         (List.length (Obs.Registry.names reg))
     | Some _, None ->
-      Fmt.epr "scheme %s keeps no metrics registry@." scheme;
+      Fmt.epr "scheme %s keeps no metrics registry@."
+        stack.Workloads.Harness.scheme;
       exit 1
     | None, _ -> ());
     match (spans_out, stack.Workloads.Harness.trace) with
@@ -173,14 +241,14 @@ let bench_cmd =
       Fmt.pr "spans          %s (%d retained)@." file
         (Obs.Trace_ring.retained ring)
     | Some _, None ->
-      Fmt.epr "scheme %s keeps no trace ring@." scheme;
+      Fmt.epr "scheme %s keeps no trace ring@." stack.Workloads.Harness.scheme;
       exit 1
     | None, _ -> ()
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
-      const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ metrics_arg
-      $ spans_arg)
+      const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ domains_arg
+      $ repeat_arg $ metrics_arg $ spans_arg)
 
 let trace_cmd =
   let doc =
@@ -195,7 +263,9 @@ let trace_cmd =
       & info [ "o"; "out" ] ~doc:"Output file (default: stdout)")
   in
   let f suite bench scheme scale out =
-    let _result, stack = run_capturing ~suite ~bench ~scheme ~scale in
+    let _result, stack =
+      run_capturing ~suite ~bench ~scheme:(scheme_of_string scheme) ~scale
+    in
     match stack.Workloads.Harness.trace with
     | None ->
       Fmt.epr "scheme %s keeps no trace ring@." scheme;
@@ -388,8 +458,14 @@ let check_cmd =
              happens-before analysis; with --corpus, additionally replay \
              every sweep-protocol mutant, which the checker must flag")
   in
-  let oracle_config = ms_config in
-  let f files oracle corpus races config latency =
+  let f files oracle corpus races config latency domains =
+    (* --domains routes every replayed configuration through the parallel
+       marking engine: the oracle then certifies the parallel mark's
+       releases against ground truth, and --races certifies the event
+       funnel stays sound under it. *)
+    let oracle_config name =
+      Minesweeper.Config.with_domains domains (ms_config name)
+    in
     let findings = ref 0 in
     let print_diags diags =
       findings := !findings + List.length diags;
@@ -421,7 +497,7 @@ let check_cmd =
           List.iter
             (fun config_name ->
               let r =
-                Racecheck.Recorder.run ~config:(ms_config config_name)
+                Racecheck.Recorder.run ~config:(oracle_config config_name)
                   ~config_name trace
               in
               Fmt.pr
@@ -487,7 +563,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const f $ files_arg $ oracle_arg $ corpus_arg $ races_arg $ config_arg
-      $ latency_arg)
+      $ latency_arg $ domains_arg)
 
 let explore_cmd =
   let doc =

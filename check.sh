@@ -103,6 +103,65 @@ if grep -q "REGRESSION" "$workdir/incfig.txt"; then
 fi
 echo "incremental swept strictly fewer bytes on every sweeping profile"
 
+echo "== parallel marking: equivalence suite + determinism across domains"
+# The dedicated equivalence suite: for every preset and domain count the
+# parallel mark's shadow set, stats and simulated clock equal the
+# sequential paths', certified by the sweep oracle.
+_build/default/test/test_main.exe test minesweeper.parsweep >/dev/null
+echo "parallel equivalence suite passed"
+
+# Metrics exports at 1 vs 4 domains must be byte-identical once the
+# schema header (it advertises the metric count, which grows with the
+# par.* family) and the par.* lines themselves are stripped: parallelism
+# may add telemetry about itself but must not perturb a single other
+# exported value.
+"$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
+  --domains 1 --metrics-out "$workdir/d1.jsonl" >/dev/null
+"$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
+  --domains 4 --metrics-out "$workdir/d4.jsonl" >/dev/null
+grep -v '"schema"' "$workdir/d1.jsonl" | grep -v '"metric":"par\.' \
+  >"$workdir/d1.stripped"
+grep -v '"schema"' "$workdir/d4.jsonl" | grep -v '"metric":"par\.' \
+  >"$workdir/d4.stripped"
+cmp "$workdir/d1.stripped" "$workdir/d4.stripped" \
+  || { echo "FAIL: 4-domain export differs from 1-domain beyond par.*" >&2; exit 1; }
+grep -q '"metric":"par\.chunks"' "$workdir/d4.jsonl" \
+  || { echo "FAIL: 4-domain run exported no par.* telemetry" >&2; exit 1; }
+grep -q '"metric":"par\.' "$workdir/d1.jsonl" \
+  && { echo "FAIL: 1-domain run exported par.* telemetry" >&2; exit 1; }
+echo "1- and 4-domain exports identical modulo par.* telemetry"
+
+# The race checker must stay sound with the parallel engine enabled: the
+# coordinator emits every synchronization event in canonical order, so
+# both seeded workloads must come back clean at 4 domains too.
+for trace in espresso perl; do
+  "$CLI" check -i "$workdir/$trace.trace" --races --domains 4 \
+    >"$workdir/races4-$trace.txt" 2>&1 || true
+  grep -q "races(default):.* 0 finding(s)" "$workdir/races4-$trace.txt" \
+    || { echo "FAIL: race findings under default at 4 domains on $trace" >&2; exit 1; }
+  grep -q "races(mostly):.* 0 finding(s)" "$workdir/races4-$trace.txt" \
+    || { echo "FAIL: race findings under mostly at 4 domains on $trace" >&2; exit 1; }
+done
+echo "recorded event streams race-free at 4 domains"
+
+# Median-of-N reporting: repeats of a deterministic simulation must agree
+# on the simulated clock (the CLI exits nonzero if they diverge).
+"$CLI" bench --suite mimalloc -b espresso -s minesweeper --scale 0.02 \
+  --domains 4 --repeat 3 >"$workdir/repeat.txt" \
+  || { echo "FAIL: repeats diverged on the simulated clock" >&2; exit 1; }
+grep -q "median of 3" "$workdir/repeat.txt" \
+  || { echo "FAIL: --repeat 3 did not report a median" >&2; exit 1; }
+echo "bench --repeat reports the median over agreeing repeats"
+
+echo "== bench smoke: parallel mark speedup figure"
+"$CLI" figures --only parallel-mark --scale 0.02 >"$workdir/parfig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/parfig.txt"; then
+  grep "REGRESSION" "$workdir/parfig.txt" >&2
+  echo "FAIL: parallel mark diverged or lost its modeled speedup" >&2
+  exit 1
+fi
+echo "parallel mark identical across domains with modeled speedup >= 1.5x"
+
 echo "== telemetry: metrics export determinism + schema"
 # Two identical runs must export byte-identical JSONL (every value is an
 # integer off the simulated clock — nothing host-dependent may leak in).

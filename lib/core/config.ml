@@ -15,6 +15,7 @@ type t = {
   purging : bool;
   concurrency : concurrency;
   sweep_mode : sweep_mode;
+  domains : int;
   threshold : float;
   threshold_min_bytes : int;
   unmap_factor : float;
@@ -32,6 +33,7 @@ let default = {
   purging = true;
   concurrency = Concurrent { helpers = 6; stop_the_world = false };
   sweep_mode = Full_scan;
+  domains = 1;
   threshold = 0.15;
   threshold_min_bytes = 128 * 1024;
   unmap_factor = 9.0;
@@ -115,7 +117,7 @@ let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     ?(unmapping = default.unmapping) ?(sweeping = default.sweeping)
     ?(keep_failed = default.keep_failed) ?(purging = default.purging)
     ?(concurrency = default.concurrency) ?(sweep_mode = default.sweep_mode)
-    ?(threshold = default.threshold)
+    ?(domains = default.domains) ?(threshold = default.threshold)
     ?(threshold_min_bytes = default.threshold_min_bytes)
     ?(unmap_factor = default.unmap_factor)
     ?(pause_factor = default.pause_factor)
@@ -130,6 +132,7 @@ let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     purging;
     concurrency;
     sweep_mode;
+    domains;
     threshold;
     threshold_min_bytes;
     unmap_factor;
@@ -137,6 +140,8 @@ let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     shadow_granule;
     debug_double_free;
   }
+
+let with_domains n t = { t with domains = max 1 n }
 
 (* The canonical preset table: the single place a preset string is tied
    to a configuration. The CLI, the harness and the oracle all resolve
@@ -186,8 +191,11 @@ let pp ppf t =
   let mode =
     match t.sweep_mode with Full_scan -> "full" | Incremental -> "incremental"
   in
+  let domains =
+    if t.domains > 1 then Printf.sprintf " domains=%d" t.domains else ""
+  in
   Format.fprintf ppf
-    "{quarantine=%b zero=%b unmap=%b sweep=%b(%s) keep_failed=%b purge=%b %s \
+    "{quarantine=%b zero=%b unmap=%b sweep=%b(%s) keep_failed=%b purge=%b %s%s \
      threshold=%.2f}"
     t.quarantining t.zeroing t.unmapping t.sweeping mode t.keep_failed
-    t.purging concurrency t.threshold
+    t.purging concurrency domains t.threshold

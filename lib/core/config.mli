@@ -43,6 +43,14 @@ type t = {
       (** how the marking phase covers memory; {!Incremental} trades a
           summary cache (invalidated on store/zero/decommit/protect) for
           strictly fewer bytes swept per marking phase *)
+  domains : int;
+      (** marker domains for the marking phase. [1] (the default) keeps
+          the historical single-threaded scan; [n > 1] shards readable
+          pages across [n] OCaml worker domains through the parallel
+          marking engine ([lib/parsweep]). The shadow set, counters and
+          sweep decisions are byte-identical for every value — only the
+          [par.*] telemetry and the modeled mark-phase critical path
+          change *)
   threshold : float;
       (** sweep when pending quarantine exceeds this fraction of the
           heap (paper default 15 %) *)
@@ -110,6 +118,7 @@ val make :
   ?purging:bool ->
   ?concurrency:concurrency ->
   ?sweep_mode:sweep_mode ->
+  ?domains:int ->
   ?threshold:float ->
   ?threshold_min_bytes:int ->
   ?unmap_factor:float ->
@@ -120,6 +129,10 @@ val make :
   t
 (** Labelled constructor; every omitted field takes its {!default}
     value, so [make ~sweep_mode:Incremental ()] reads as a delta. *)
+
+val with_domains : int -> t -> t
+(** [with_domains n t] is [t] marking with [max 1 n] worker domains —
+    the CLI's [--domains] override, applicable to any preset. *)
 
 val presets : (string * t) list
 (** The named configurations the CLI and harness accept:

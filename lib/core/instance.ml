@@ -45,6 +45,20 @@ type page_summary = {
   targets : int array;
 }
 
+(* Telemetry of the parallel marking engine, registered only when the
+   configuration asks for more than one marker domain: a domains=1 run
+   exports exactly the historical metric set, which is what lets the
+   check.sh gate byte-compare 1-domain and n-domain exports after
+   stripping the [par.*] lines. *)
+type par_telemetry = {
+  par_domains : R.gauge;
+  par_chunks : R.counter;
+  par_chunks_stolen : R.counter;
+  par_imbalance : R.gauge;
+  par_mark_cycles_est : R.counter;
+  par_mark_cycles_seq_est : R.counter;
+}
+
 type t = {
   machine : Alloc.Machine.t;
   je : B.t;
@@ -57,6 +71,7 @@ type t = {
   scan_hist : R.histogram; (* per-sweep scanned bytes distribution *)
   alloc_hist : R.histogram; (* malloc request sizes *)
   unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
+  par : par_telemetry option;
   log : Event_log.t;
   mutable summaries : (int, page_summary) Hashtbl.t; (* page index *)
   mutable sweep : sweep_state option;
@@ -102,6 +117,23 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
   let je = B.create ~extra_byte:true machine in
   let registry = match obs with Some r -> r | None -> R.create () in
   let ring = Ring.create ~capacity:ring_capacity () in
+  let par =
+    if config.Config.domains > 1 then begin
+      let p =
+        {
+          par_domains = R.gauge registry "par.domains";
+          par_chunks = R.counter registry "par.chunks";
+          par_chunks_stolen = R.counter registry "par.chunks_stolen";
+          par_imbalance = R.gauge registry "par.imbalance";
+          par_mark_cycles_est = R.counter registry "par.mark_cycles_est";
+          par_mark_cycles_seq_est = R.counter registry "par.mark_cycles_seq_est";
+        }
+      in
+      R.Gauge.set p.par_domains config.Config.domains;
+      Some p
+    end
+    else None
+  in
   let t =
     {
       machine;
@@ -115,6 +147,7 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
       scan_hist = R.histogram registry "ms.sweep_scan_bytes";
       alloc_hist = R.histogram registry "ms.alloc_request_bytes";
       unmapped_pages = Hashtbl.create 1024;
+      par;
       log = Event_log.create ~ring ();
       summaries = Hashtbl.create 1024;
       sweep = None;
@@ -171,7 +204,7 @@ let mark_page t bytes =
     if w >= Layout.heap_base && w < wilderness then Shadow.mark shadow w
   done
 
-let mark_all_memory t =
+let mark_all_memory_seq t =
   Shadow.clear t.shadow;
   let swept = ref 0 in
   let sweep = sweep_number t in
@@ -181,6 +214,112 @@ let mark_all_memory t =
       swept := !swept + page);
   count t.stats.Stats.Live.swept_bytes !swept;
   !swept
+
+(* ---- Parallel marking (Config.domains > 1): lib/parsweep ----------- *)
+
+(* Record a parallel run into the [par.*] telemetry. Everything written
+   here is either deterministic (chunk counts, static-seeding imbalance,
+   the modeled critical path) or explicitly observational and stripped
+   from determinism gates ([par.chunks_stolen]). The per-domain mark
+   spans carry the deterministic static byte assignment. *)
+let record_par t (stats : Parsweep.stats) =
+  match t.par with
+  | None -> ()
+  | Some p ->
+    let c = cost t in
+    R.Gauge.set p.par_domains stats.Parsweep.domains;
+    count p.par_chunks stats.Parsweep.chunks;
+    count p.par_chunks_stolen stats.Parsweep.stolen;
+    R.Gauge.set p.par_imbalance (Parsweep.imbalance stats);
+    count p.par_mark_cycles_est
+      (Parsweep.critical_path_cycles
+         ~single_per_byte:c.Sim.Cost.mark_single_per_byte
+         ~bandwidth_per_byte:bandwidth_cycles_per_byte stats);
+    count p.par_mark_cycles_seq_est
+      (Sim.Cost.bytes_cost c.Sim.Cost.mark_single_per_byte
+         stats.Parsweep.total_bytes);
+    let sweep = sweep_number t in
+    Array.iteri
+      (fun d bytes ->
+        let pending =
+          Ring.enter ~now:(now t) Ring.Mark (Printf.sprintf "mark-domain-%d" d)
+        in
+        Ring.exit t.ring pending ~now:(now t) ~bytes
+          ~attrs:[ ("sweep", sweep); ("domain", d) ]
+          ())
+      stats.Parsweep.seeded_bytes
+
+(* Worker-side page scan: the exact heap-range words of one page, as a
+   private array. Two passes (count, then fill) so the buffer is sized
+   exactly — the common page has no hits and allocates the shared empty
+   array only. *)
+let empty_hits : int array = [||]
+
+let page_hits bytes ~wilderness =
+  let words = page / word in
+  let n = ref 0 in
+  for k = 0 to words - 1 do
+    let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
+    if w >= Layout.heap_base && w < wilderness then incr n
+  done;
+  if !n = 0 then empty_hits
+  else begin
+    let hits = Array.make !n 0 in
+    let i = ref 0 in
+    for k = 0 to words - 1 do
+      let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
+      if w >= Layout.heap_base && w < wilderness then begin
+        hits.(!i) <- w;
+        incr i
+      end
+    done;
+    hits
+  end
+
+(* Parallel full scan. Workers compute per-page hit arrays over a
+   canonical (base-sorted, zero-copy) snapshot; the coordinator then
+   merges in chunk-id order: emits the Mark_page events, writes the
+   shadow map and counts swept bytes. The merge is the only writer of
+   shared state, so the outcome is identical for any domain count and
+   steal schedule — and identical to [mark_all_memory_seq], which visits
+   the same pages with the same filter in a different order. *)
+let mark_all_memory_par t =
+  Shadow.clear t.shadow;
+  let wilderness = B.wilderness t.je in
+  let pages =
+    Array.map
+      (fun (base, bytes, write_gen) -> { Parsweep.base; bytes; write_gen })
+      (Vmem.snapshot_readable_pages (mem t))
+  in
+  let chunks = Parsweep.shard pages in
+  let scan (c : Parsweep.chunk) =
+    Array.map
+      (fun (p : Parsweep.page) -> page_hits p.Parsweep.bytes ~wilderness)
+      c.Parsweep.pages
+  in
+  let per_chunk, stats =
+    Parsweep.map_chunks ~domains:t.config.Config.domains ~scan chunks
+  in
+  let swept = ref 0 in
+  let sweep = sweep_number t in
+  Array.iteri
+    (fun ci hits_per_page ->
+      let chunk = chunks.(ci) in
+      Array.iteri
+        (fun pi hits ->
+          emit_sync t
+            (Mark_page { sweep; base = chunk.Parsweep.pages.(pi).Parsweep.base });
+          Array.iter (Shadow.mark t.shadow) hits;
+          swept := !swept + page)
+        hits_per_page)
+    per_chunk;
+  record_par t stats;
+  count t.stats.Stats.Live.swept_bytes !swept;
+  !swept
+
+let mark_all_memory t =
+  if t.config.Config.domains > 1 then mark_all_memory_par t
+  else mark_all_memory_seq t
 
 (* All words of a page that lie in the heap *address range*, deduped and
    sorted. The wilderness is deliberately not consulted here: it grows
@@ -202,7 +341,7 @@ let summarize_page bytes =
    replay the cached summary for the rest. The summary table is rebuilt
    from scratch each sweep so entries for unmapped pages fall away.
    Returns [(rescanned_bytes, replayed_targets)] for the cost model. *)
-let mark_incremental t =
+let mark_incremental_seq t =
   Shadow.clear t.shadow;
   let m = mem t in
   let gen = Vmem.advance_generation m in
@@ -241,6 +380,96 @@ let mark_incremental t =
        (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
        fresh 0);
   (!rescanned, !replayed)
+
+(* Parallel incremental marking. The summary table is not domain-safe,
+   so the coordinator classifies every page (replay vs rescan) against
+   it up front and ships only the rescan pages to the worker pool, which
+   runs [summarize_page] — the expensive part — on private buffers. The
+   merge then walks the full canonical snapshot exactly like the
+   sequential path: replayed pages take their cached targets, rescanned
+   pages take the worker-produced summary, and every counter, gauge and
+   Mark_page event comes out identical. *)
+let mark_incremental_par t =
+  Shadow.clear t.shadow;
+  let m = mem t in
+  let gen = Vmem.advance_generation m in
+  let wilderness = B.wilderness t.je in
+  let snapshot = Vmem.snapshot_readable_pages m in
+  let replayable base write_gen =
+    match Hashtbl.find_opt t.summaries (base / page) with
+    | Some s -> write_gen < s.gen
+    | None -> false
+  in
+  let rescan_pages =
+    Array.of_list
+      (List.filter_map
+         (fun (base, bytes, write_gen) ->
+           if replayable base write_gen then None
+           else Some { Parsweep.base; bytes; write_gen })
+         (Array.to_list snapshot))
+  in
+  let chunks = Parsweep.shard rescan_pages in
+  let scan (c : Parsweep.chunk) =
+    Array.map
+      (fun (p : Parsweep.page) -> summarize_page p.Parsweep.bytes)
+      c.Parsweep.pages
+  in
+  let per_chunk, stats =
+    Parsweep.map_chunks ~domains:t.config.Config.domains ~scan chunks
+  in
+  let fresh_targets = Hashtbl.create (max 64 (Array.length rescan_pages)) in
+  Array.iteri
+    (fun ci targets_per_page ->
+      Array.iteri
+        (fun pi targets ->
+          Hashtbl.replace fresh_targets
+            (chunks.(ci).Parsweep.pages.(pi).Parsweep.base / page)
+            targets)
+        targets_per_page)
+    per_chunk;
+  let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
+  let rescanned = ref 0 and replayed = ref 0 in
+  let skipped_pages = ref 0 and rescanned_pages = ref 0 in
+  let sweep = sweep_number t in
+  Array.iter
+    (fun (base, _bytes, write_gen) ->
+      emit_sync t (Mark_page { sweep; base });
+      let index = base / page in
+      match Hashtbl.find_opt t.summaries index with
+      | Some s when write_gen < s.gen ->
+        Array.iter
+          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+          s.targets;
+        replayed := !replayed + Array.length s.targets;
+        incr skipped_pages;
+        Hashtbl.replace fresh index { gen; targets = s.targets }
+      | Some _ | None ->
+        let targets =
+          match Hashtbl.find_opt fresh_targets index with
+          | Some targets -> targets
+          | None -> assert false
+        in
+        Array.iter
+          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+          targets;
+        rescanned := !rescanned + page;
+        incr rescanned_pages;
+        Hashtbl.replace fresh index { gen; targets })
+    snapshot;
+  record_par t stats;
+  t.summaries <- fresh;
+  count t.stats.Stats.Live.swept_bytes !rescanned;
+  count t.stats.Stats.Live.sweep_pages_skipped !skipped_pages;
+  count t.stats.Stats.Live.sweep_pages_rescanned !rescanned_pages;
+  R.Gauge.set t.stats.Stats.Live.summary_cache_bytes
+    (Hashtbl.fold
+       (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
+       fresh 0);
+  (!rescanned, !replayed)
+
+let mark_incremental t =
+  if t.config.Config.domains > 1 then mark_incremental_par t
+  else mark_incremental_seq t
 
 (* Audit-only reference marks: build the mark set each strategy would
    produce right now into a scratch shadow, charging no simulated cost

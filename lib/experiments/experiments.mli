@@ -96,6 +96,16 @@ val incremental_sweep : env -> string
     incremental mode fails to sweep strictly fewer bytes than full
     mode. *)
 
+val parallel_mark : env -> string
+(** Extension: mark-phase scaling of the parallel marking engine
+    ([lib/parsweep]) at 1/2/4/8 domains on sweep-heavy mimalloc-bench
+    and SPEC profiles. Verifies swept bytes are identical at every
+    domain count and reports the modeled critical-path speedup (single
+    marker streams 4 B/cycle against a 16 B/cycle DRAM wall, so scaling
+    saturates at 4 domains). Prints a REGRESSION marker (grepped by
+    check.sh) if any domain count diverges or no profile reaches 1.5x
+    at 4 domains. *)
+
 val all_figures : (string * (env -> string)) list
 (** In paper order; keys are ["fig1"], ["fig2"], ["fig7"] ... ["fig19"],
     plus ["scudo"], ["ptrtrack"], ["ablation-threshold"] and

@@ -1,13 +1,19 @@
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : int }
+(* Metric cells are Atomic.t so handles handed to worker domains (the
+   parallel marking engine bumps counters from its pool) are safe to
+   update without a lock: counter increments and histogram observations
+   are fetch-and-add, gauge high-water marks are a CAS loop. The public
+   API is unchanged — callers never see the atomics. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : int Atomic.t }
 
 let log2_buckets = 63
 
 type histogram = {
   h_name : string;
-  h_buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : int;
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
 }
 
 type metric =
@@ -18,7 +24,8 @@ type metric =
   | Derived_gauge of (unit -> int)
 
 (* Insertion-ordered assoc (reversed); reads sort by name, so the
-   export order is independent of registration order. *)
+   export order is independent of registration order. Registration
+   itself stays coordinator-only — only the cells are domain-safe. *)
 type t = { mutable entries : (string * metric) list }
 
 exception Duplicate of string
@@ -30,19 +37,21 @@ let register t name metric =
   t.entries <- (name, metric) :: t.entries
 
 let counter t name =
-  let c = { c_name = name; c_value = 0 } in
+  let c = { c_name = name; c_value = Atomic.make 0 } in
   register t name (Counter c);
   c
 
 let gauge t name =
-  let g = { g_name = name; g_value = 0 } in
+  let g = { g_name = name; g_value = Atomic.make 0 } in
   register t name (Gauge g);
   g
 
 let histogram t name =
   let h =
-    { h_name = name; h_buckets = Array.make log2_buckets 0; h_count = 0;
-      h_sum = 0 }
+    { h_name = name;
+      h_buckets = Array.init log2_buckets (fun _ -> Atomic.make 0);
+      h_count = Atomic.make 0;
+      h_sum = Atomic.make 0 }
   in
   register t name (Histogram h);
   h
@@ -60,38 +69,43 @@ let find t name = List.assoc_opt name t.entries
 let read t name =
   match find t name with
   | None -> None
-  | Some (Counter c) -> Some c.c_value
-  | Some (Gauge g) -> Some g.g_value
-  | Some (Histogram h) -> Some h.h_count
+  | Some (Counter c) -> Some (Atomic.get c.c_value)
+  | Some (Gauge g) -> Some (Atomic.get g.g_value)
+  | Some (Histogram h) -> Some (Atomic.get h.h_count)
   | Some (Derived_counter fn) | Some (Derived_gauge fn) -> Some (fn ())
 
 let reset t =
   List.iter
     (fun (_, m) ->
       match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0
       | Histogram h ->
-        Array.fill h.h_buckets 0 log2_buckets 0;
-        h.h_count <- 0;
-        h.h_sum <- 0
+        Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0
       | Derived_counter _ | Derived_gauge _ -> ())
     t.entries
 
 module Counter = struct
   let incr c n =
     assert (n >= 0);
-    c.c_value <- c.c_value + n
+    ignore (Atomic.fetch_and_add c.c_value n)
 
-  let reset c = c.c_value <- 0
-  let value c = c.c_value
+  let reset c = Atomic.set c.c_value 0
+  let value c = Atomic.get c.c_value
   let name c = c.c_name
 end
 
 module Gauge = struct
-  let set g v = g.g_value <- v
-  let set_max g v = if v > g.g_value then g.g_value <- v
-  let value g = g.g_value
+  let set g v = Atomic.set g.g_value v
+
+  let rec set_max g v =
+    let cur = Atomic.get g.g_value in
+    if v > cur && not (Atomic.compare_and_set g.g_value cur v) then
+      set_max g v
+
+  let value g = Atomic.get g.g_value
   let name g = g.g_name
 end
 
@@ -110,18 +124,18 @@ module Histogram = struct
   let observe h v =
     let v = max 0 v in
     let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v
+    ignore (Atomic.fetch_and_add h.h_buckets.(b) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum v)
 
-  let count h = h.h_count
-  let sum h = h.h_sum
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
 
   let buckets h =
     let acc = ref [] in
     for i = log2_buckets - 1 downto 0 do
-      if h.h_buckets.(i) > 0 then
-        acc := (lower_bound i, h.h_buckets.(i)) :: !acc
+      let n = Atomic.get h.h_buckets.(i) in
+      if n > 0 then acc := (lower_bound i, n) :: !acc
     done;
     !acc
 

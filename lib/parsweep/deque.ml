@@ -1,0 +1,71 @@
+(* Mutex-guarded array deque. Slots [top, bottom) hold [Some] items;
+   everything outside is [None] so popped chunks are collectable. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;
+  mutable top : int;
+  mutable bottom : int;
+}
+
+let create () =
+  { lock = Mutex.create (); buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let ensure_room t =
+  let cap = Array.length t.buf in
+  if t.bottom = cap then begin
+    let live = t.bottom - t.top in
+    if 2 * live <= cap then begin
+      (* More than half the array is dead slots: compact in place. *)
+      Array.blit t.buf t.top t.buf 0 live;
+      Array.fill t.buf live (cap - live) None
+    end
+    else begin
+      let buf = Array.make (2 * cap) None in
+      Array.blit t.buf t.top buf 0 live;
+      t.buf <- buf
+    end;
+    t.top <- 0;
+    t.bottom <- live
+  end
+
+let push t x =
+  Mutex.lock t.lock;
+  ensure_room t;
+  t.buf.(t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      t.bottom <- t.bottom - 1;
+      let x = t.buf.(t.bottom) in
+      t.buf.(t.bottom) <- None;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      let x = t.buf.(t.top) in
+      t.buf.(t.top) <- None;
+      t.top <- t.top + 1;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.bottom - t.top in
+  Mutex.unlock t.lock;
+  n

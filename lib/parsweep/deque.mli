@@ -1,0 +1,26 @@
+(** Work-stealing deque for mark-phase chunks.
+
+    Owner domains push and pop at the bottom (LIFO, so a domain keeps
+    working the address range it was seeded with, in cache order);
+    thieves steal from the top (FIFO, so a steal takes the chunk the
+    owner would have reached last). Work items are page chunks — tens
+    to hundreds per sweep, each worth many microseconds of scanning —
+    so contention on the per-deque mutex is irrelevant next to the scan
+    itself and a lock-free Chase–Lev structure would buy nothing here. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner operation: append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner operation: take the most recently pushed item (bottom). *)
+
+val steal : 'a t -> 'a option
+(** Thief operation: take the oldest item (top). Safe from any domain. *)
+
+val length : 'a t -> int
+(** Items currently queued (racy under concurrent use, exact when
+    quiescent). *)

@@ -7,6 +7,7 @@ type t = {
   quarantine_flush_per_entry : int;
   zero_per_byte : float;
   sweep_per_byte : float;
+  mark_single_per_byte : float;
   mark_per_byte : float;
   shadow_test_per_granule : float;
   release_per_entry : int;
@@ -23,6 +24,12 @@ type t = {
    - sweep_per_byte models a streaming read + shadow store; DRAM-bandwidth
      bound at ~16 B/cycle on the paper's machine gives ~0.0625, we charge a
      little more for the shadow-map update.
+   - mark_single_per_byte is what ONE marker thread moves through memory:
+     a single core's load + range-test + buffer-append loop streams ~4
+     bytes per cycle, a quarter of the DRAM bandwidth above. The gap is
+     exactly the headroom the parallel marking engine (lib/parsweep)
+     exploits: aggregate marker throughput scales with domains until it
+     hits the 16 B/cycle memory wall at four of them.
    - mark_per_byte is much higher: transitive marking chases pointers and
      takes a cache miss on most object visits (MarkUs/Boehm behaviour).
    - cold_alloc_per_byte captures the L2/L3 misses caused by the quarantine
@@ -37,6 +44,7 @@ let default = {
   quarantine_flush_per_entry = 6;
   zero_per_byte = 0.05;
   sweep_per_byte = 0.04;
+  mark_single_per_byte = 0.25;
   mark_per_byte = 0.30;
   shadow_test_per_granule = 0.9;
   release_per_entry = 40;

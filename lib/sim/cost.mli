@@ -17,6 +17,10 @@ type t = {
   quarantine_flush_per_entry : int;  (** move one entry to the global list *)
   zero_per_byte : float;  (** zero-filling a freed allocation *)
   sweep_per_byte : float;  (** linear streaming sweep (marking phase) *)
+  mark_single_per_byte : float;
+      (** single marker-thread streaming throughput (~4 B/cycle): the
+          per-domain cost the parallel marking projection charges before
+          the aggregate hits the DRAM-bandwidth wall *)
   mark_per_byte : float;  (** transitive (pointer-chasing) marking, MarkUs *)
   shadow_test_per_granule : float;  (** checking shadow bits on release *)
   release_per_entry : int;  (** quarantine-list walk per entry *)

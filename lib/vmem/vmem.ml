@@ -241,6 +241,27 @@ let iter_readable_pages_gen t f =
       | { data = None; _ } | { prot = No_access; _ } -> ())
     t.pages
 
+(* Zero-copy snapshot for the markers: the live page frames themselves,
+   sorted by base address so every consumer sees the one canonical
+   order regardless of hash-table iteration order. No Bytes are copied —
+   callers must treat the frames as read-only and must not interleave
+   stores, protection changes or unmaps with reads of the snapshot
+   (the marking phase holds that property: nothing mutates the address
+   space while it scans). *)
+let snapshot_readable_pages t =
+  let acc =
+    Hashtbl.fold
+      (fun i p acc ->
+        match p with
+        | { data = Some bytes; prot = Read_only | Read_write; write_gen; _ } ->
+          (i * page_size, bytes, write_gen) :: acc
+        | { data = None; _ } | { prot = No_access; _ } -> acc)
+      t.pages []
+  in
+  let pages = Array.of_list acc in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) pages;
+  pages
+
 let write_generation t addr = (find_page t addr).write_gen
 
 let readable_bytes t =

@@ -107,7 +107,17 @@ val iter_readable_pages : t -> (int -> Bytes.t -> unit) -> unit
 (** [iter_readable_pages t f] calls [f page_base bytes] for every
     committed page that is readable. This is the sweep's view of "all
     program memory": decommitted and [No_access] (unmapped-in-quarantine)
-    pages are excluded. Iteration order is unspecified. *)
+    pages are excluded. Iteration order is unspecified. The [bytes] are
+    the live page frame, not a copy — callers must not mutate it. *)
+
+val snapshot_readable_pages : t -> (int * Bytes.t * int) array
+(** Zero-copy snapshot of every committed readable page as
+    [(page_base, bytes, write_gen)] triples sorted by base address — the
+    canonical page order of the marking phase, the one every parallel
+    merge reproduces. The [bytes] are the live page frames (no copies,
+    no per-page allocation beyond the array itself): callers must treat
+    them as read-only and must not interleave stores, protection changes
+    or unmaps with reads of the snapshot. *)
 
 (** {1 Scan generations}
 

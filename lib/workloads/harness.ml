@@ -148,6 +148,19 @@ let build scheme ~threads machine =
       extra =
         (fun () ->
           let s = stats () in
+          (* When the parallel marking engine ran (domains > 1), surface
+             its telemetry to the experiments layer: the speedup figure
+             reads the modeled critical-path cycles from here. *)
+          let par =
+            let reg = Minesweeper.Instance.registry ms in
+            List.filter_map
+              (fun name ->
+                match Obs.Registry.read reg ("par." ^ name) with
+                | Some v -> Some ("par_" ^ name, float_of_int v)
+                | None -> None)
+              [ "domains"; "chunks"; "chunks_stolen"; "imbalance";
+                "mark_cycles_est"; "mark_cycles_seq_est" ]
+          in
           [
             ("double_frees", float_of_int s.Minesweeper.Stats.double_frees);
             ("stw_pauses", float_of_int s.Minesweeper.Stats.stw_pauses);
@@ -162,7 +175,8 @@ let build scheme ~threads machine =
              float_of_int s.Minesweeper.Stats.sweep_pages_rescanned);
             ("summary_cache_bytes",
              float_of_int s.Minesweeper.Stats.summary_cache_bytes);
-          ]);
+          ]
+          @ par);
     }
   | Mark_us ->
     let mk = Markus.create machine in

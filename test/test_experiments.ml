@@ -65,7 +65,7 @@ let test_figure_list_complete () =
       "fig1"; "fig2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
       "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19";
       "scudo"; "ptrtrack"; "ablation-threshold"; "ablation-granule";
-      "ablation-helpers"; "incremental-sweep";
+      "ablation-helpers"; "incremental-sweep"; "parallel-mark";
     ]
     (List.map fst Experiments.all_figures)
 
