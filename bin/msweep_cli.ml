@@ -11,10 +11,14 @@
      attack [-s SCHEME]        run the Figure-2 exploit scenarios
      trace-gen -b BENCH -o F   derive a portable trace file from a profile
      trace-replay -i F -s S    replay a trace file against a scheme
-     check [-i F] [--oracle] [--corpus] [--races]
+     check [-i F] [--oracle] [--corpus] [--races] [--strict]
                                lint traces, audit a differential replay,
                                self-test the lint corpus, race-check
                                recorded synchronization events
+     analyze [-i F] [--policy P] [--json F] [--lockset] [--strict]
+                               static dataflow analysis of traces: dangling
+                               exposure, retention prediction, quarantine
+                               bounds — no replay
      explore [--schedules N]   permute sweep boundaries through a fixed
                                mutator script and verify soundness, race
                                freedom and deterministic accounting *)
@@ -404,10 +408,22 @@ let trace_replay_cmd =
   in
   Cmd.v (Cmd.info "trace-replay" ~doc) Term.(const f $ in_arg $ scheme_arg)
 
+(* Shared by `check` and `analyze`: both exit non-zero on errors and
+   self-test failures always, and additionally on warnings under
+   --strict. *)
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Treat every finding as fatal: exit non-zero on warnings too, \
+           not only on errors and self-test failures")
+
 let check_cmd =
   let doc =
     "Lint trace files and (optionally) audit a differential replay. Exits \
-     non-zero when any check finds something."
+     non-zero when any check reports an error or a self-test fails; with \
+     $(b,--strict), on any finding at all."
   in
   let files_arg =
     Arg.(
@@ -458,7 +474,7 @@ let check_cmd =
              happens-before analysis; with --corpus, additionally replay \
              every sweep-protocol mutant, which the checker must flag")
   in
-  let f files oracle corpus races config latency domains =
+  let f files oracle corpus races config latency domains strict =
     (* --domains routes every replayed configuration through the parallel
        marking engine: the oracle then certifies the parallel mark's
        releases against ground truth, and --races certifies the event
@@ -466,11 +482,16 @@ let check_cmd =
     let oracle_config name =
       Minesweeper.Config.with_domains domains (ms_config name)
     in
-    let findings = ref 0 in
+    let errs = ref 0 in
+    let warns = ref 0 in
     let print_diags diags =
-      findings := !findings + List.length diags;
+      let diags = Sanitizer.Diagnostic.sort diags in
       List.iter
-        (fun d -> Fmt.pr "  %s@." (Sanitizer.Diagnostic.to_string d))
+        (fun d ->
+          (match d.Sanitizer.Diagnostic.severity with
+          | Sanitizer.Diagnostic.Error -> incr errs
+          | Sanitizer.Diagnostic.Warning -> incr warns);
+          Fmt.pr "  %s@." (Sanitizer.Diagnostic.to_string d))
         diags
     in
     List.iter
@@ -507,7 +528,13 @@ let check_cmd =
                 r.Racecheck.Recorder.sweeps r.Racecheck.Recorder.events
                 r.Racecheck.Recorder.window_writes
                 (List.length r.Racecheck.Recorder.diags);
-              print_diags r.Racecheck.Recorder.diags)
+              print_diags r.Racecheck.Recorder.diags;
+              (* The static lockset pass reads the same recorded stream:
+                 a correct sweep protocol must come back clean. *)
+              let ls = Flowcheck.Lockset.analyze r.Racecheck.Recorder.stream in
+              Fmt.pr "%s: lockset(%s): %d finding(s)@." file config_name
+                (List.length ls);
+              print_diags ls)
             [ "default"; "mostly" ])
       files;
     if corpus then begin
@@ -522,7 +549,7 @@ let check_cmd =
           if got = c.expected_rules then
             Fmt.pr "  ok   %-22s [%s]@." c.name (String.concat "; " got)
           else begin
-            incr findings;
+            incr errs;
             Fmt.pr "  FAIL %-22s expected [%s] got [%s]@." c.name
               (String.concat "; " c.expected_rules)
               (String.concat "; " got)
@@ -546,24 +573,153 @@ let check_cmd =
           if r.passed then
             Fmt.pr "  ok   %-24s [%s]@." r.name (String.concat "; " r.got)
           else begin
-            incr findings;
+            incr errs;
             Fmt.pr "  FAIL %-24s expected [%s] got [%s]@." r.name
               (String.concat "; " r.expected)
               (String.concat "; " r.got)
           end)
-        (Racecheck.Protocol.self_test ())
+        (Racecheck.Protocol.self_test ());
+      Fmt.pr "lockset mutant self-test:@.";
+      List.iter
+        (fun (r : Flowcheck.Lockset.mutant_result) ->
+          if r.Flowcheck.Lockset.passed then
+            Fmt.pr "  ok   %-24s [%s]@." r.Flowcheck.Lockset.name
+              (String.concat "; " r.Flowcheck.Lockset.got)
+          else begin
+            incr errs;
+            Fmt.pr "  FAIL %-24s expected [%s] got [%s]@."
+              r.Flowcheck.Lockset.name
+              (String.concat "; " r.Flowcheck.Lockset.expected)
+              (String.concat "; " r.Flowcheck.Lockset.got)
+          end)
+        (Flowcheck.Lockset.self_test ())
     end;
     if (not corpus) && files = [] then
       Fmt.pr "nothing to check: pass -i FILE and/or --corpus@.";
-    if !findings > 0 then begin
-      Fmt.pr "check: %d finding(s)@." !findings;
-      exit 1
-    end
+    let total = !errs + !warns in
+    if total > 0 then
+      Fmt.pr "check: %d finding(s) (%d error(s), %d warning(s))@." total !errs
+        !warns;
+    if !errs > 0 || (strict && total > 0) then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const f $ files_arg $ oracle_arg $ corpus_arg $ races_arg $ config_arg
-      $ latency_arg $ domains_arg)
+      $ latency_arg $ domains_arg $ strict_arg)
+
+let analyze_cmd =
+  let doc =
+    "Statically analyze trace files without replay: a single pass over a \
+     chunked stream builds an allocation-site points-to graph, reports \
+     dangling-pointer exposure with witnessing write chains, predicts \
+     conservative-sweep retention, and computes per-policy quarantine \
+     bounds. Exits non-zero on errors (with $(b,--strict), on any \
+     finding)."
+  in
+  let files_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "in" ] ~doc:"Trace file to analyze (repeatable)")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "policy" ]
+          ~doc:
+            "Bounds policies: all, minesweeper, a MineSweeper preset name \
+             (mostly, incremental, ...), ffmalloc, markus")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt int Workloads.Trace.default_chunk_ops
+      & info [ "chunk" ]
+          ~doc:
+            "Ops per streamed chunk (memory use is proportional to this \
+             plus live state, not to trace length)")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:
+            "Write one line of deterministic JSON per trace to this file \
+             (byte-identical across runs on equal input)")
+  in
+  let lockset_arg =
+    Arg.(
+      value & flag
+      & info [ "lockset" ]
+          ~doc:
+            "Also self-test the static lockset pass: the unmutated \
+             sweep-protocol emulator must come back clean and every seeded \
+             mutant must raise exactly its expected ls-* rules")
+  in
+  let f files policy chunk json lockset strict =
+    let policies =
+      match Flowcheck.Policy.of_string policy with
+      | Ok ps -> ps
+      | Error msg -> invalid_arg msg
+    in
+    let errs = ref 0 in
+    let warns = ref 0 in
+    let json_lines = ref [] in
+    List.iter
+      (fun file ->
+        let stream =
+          Workloads.Trace.stream_of_file ~chunk_ops:(max 1 chunk) file
+        in
+        let r = Flowcheck.Report.analyze ~policies stream in
+        print_string (Flowcheck.Report.render r);
+        List.iter
+          (fun (d : Sanitizer.Diagnostic.t) ->
+            match d.Sanitizer.Diagnostic.severity with
+            | Sanitizer.Diagnostic.Error -> incr errs
+            | Sanitizer.Diagnostic.Warning -> incr warns)
+          r.Flowcheck.Report.findings;
+        if json <> None then
+          json_lines := Flowcheck.Report.to_json r :: !json_lines)
+      files;
+    (match json with
+    | Some file ->
+      let oc = open_out file in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (List.rev !json_lines);
+      close_out oc;
+      Fmt.pr "json           %s (%d trace(s))@." file (List.length files)
+    | None -> ());
+    if lockset then begin
+      Fmt.pr "lockset self-test:@.";
+      List.iter
+        (fun (r : Flowcheck.Lockset.mutant_result) ->
+          if r.Flowcheck.Lockset.passed then
+            Fmt.pr "  ok   %-24s [%s]@." r.Flowcheck.Lockset.name
+              (String.concat "; " r.Flowcheck.Lockset.got)
+          else begin
+            incr errs;
+            Fmt.pr "  FAIL %-24s expected [%s] got [%s]@."
+              r.Flowcheck.Lockset.name
+              (String.concat "; " r.Flowcheck.Lockset.expected)
+              (String.concat "; " r.Flowcheck.Lockset.got)
+          end)
+        (Flowcheck.Lockset.self_test ())
+    end;
+    if files = [] && not lockset then
+      Fmt.pr "nothing to analyze: pass -i FILE and/or --lockset@.";
+    let total = !errs + !warns in
+    if total > 0 then
+      Fmt.pr "analyze: %d finding(s) (%d error(s), %d warning(s))@." total
+        !errs !warns;
+    if !errs > 0 || (strict && total > 0) then exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const f $ files_arg $ policy_arg $ chunk_arg $ json_arg $ lockset_arg
+      $ strict_arg)
 
 let explore_cmd =
   let doc =
@@ -622,5 +778,5 @@ let () =
           [
             list_cmd; run_cmd; bench_cmd; trace_cmd; compare_cmd;
             figures_cmd; attack_cmd; trace_gen_cmd; trace_replay_cmd;
-            check_cmd; explore_cmd;
+            check_cmd; analyze_cmd; explore_cmd;
           ]))

@@ -19,29 +19,33 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== sanitizer corpus self-test (lint + protocol mutants)"
-# --races adds the protocol-mutant self-test: every seeded mutation of
-# the sweep protocol must be flagged with exactly its expected rules,
-# and the unmutated protocol must come back race-free.
-"$CLI" check --corpus --races
+echo "== sanitizer corpus self-test (lint + protocol + lockset mutants)"
+# --races adds the protocol-mutant and static-lockset self-tests: every
+# seeded mutation of the sweep protocol must be flagged with exactly its
+# expected rules, and the unmutated protocol must come back clean.
+"$CLI" check --corpus --races --strict
 
 echo "== lint + sweep oracle over example traces"
-# espresso (mimalloc-bench): well-behaved — must be fully clean.
+# espresso (mimalloc-bench): well-behaved — must be fully clean, so
+# --strict (any finding fails) must succeed.
 "$CLI" trace-gen --suite mimalloc -b espresso --scale 0.05 \
   -o "$workdir/espresso.trace" >/dev/null
-"$CLI" check -i "$workdir/espresso.trace" --oracle --latency 100000
+"$CLI" check -i "$workdir/espresso.trace" --oracle --latency 100000 --strict
 
-# perlbench (spec2006): nonzero dangling rate — the lint must warn, and
-# the oracle must still certify MineSweeper sound on it.
+# perlbench (spec2006): nonzero dangling rate — the lint must warn
+# (fatal only under the shared --strict; warnings exit 0 by default),
+# and the oracle must still certify MineSweeper sound on it.
 "$CLI" trace-gen --suite spec2006 -b perlbench --scale 0.05 \
   -o "$workdir/perl.trace" >/dev/null
-if "$CLI" check -i "$workdir/perl.trace" >/dev/null; then
+if "$CLI" check -i "$workdir/perl.trace" --strict >/dev/null; then
   echo "FAIL: lint found nothing on a dangling-rate workload" >&2
   exit 1
 fi
-echo "lint flags the dangling-rate workload (expected)"
-"$CLI" check -i "$workdir/perl.trace" --oracle --latency 100000 >/dev/null 2>&1 \
-  && { echo "FAIL: oracle run unexpectedly clean (lint should still fail it)" >&2; exit 1; }
+"$CLI" check -i "$workdir/perl.trace" >/dev/null \
+  || { echo "FAIL: warnings must not be fatal without --strict" >&2; exit 1; }
+echo "lint flags the dangling-rate workload (expected; fatal only under --strict)"
+"$CLI" check -i "$workdir/perl.trace" --oracle --latency 100000 --strict >/dev/null 2>&1 \
+  && { echo "FAIL: oracle run unexpectedly clean (lint should still fail it under --strict)" >&2; exit 1; }
 # The exit above reflects the lint warnings; certify the oracle verdict
 # separately: soundness + invariant findings must be absent.
 "$CLI" check -i "$workdir/perl.trace" --oracle --latency 100000 2>&1 \
@@ -79,8 +83,14 @@ for trace in espresso perl; do
     || { echo "FAIL: race findings under mostly on $trace" >&2; exit 1; }
   grep -q "rc-" "$workdir/races-$trace.txt" \
     && { echo "FAIL: race diagnostics on $trace" >&2; exit 1; }
+  # The static lockset pass reads the same recorded streams and must
+  # agree: a correct sweep protocol has no ls-* findings.
+  grep -q "lockset(default): 0 finding(s)" "$workdir/races-$trace.txt" \
+    || { echo "FAIL: lockset findings under default on $trace" >&2; exit 1; }
+  grep -q "lockset(mostly): 0 finding(s)" "$workdir/races-$trace.txt" \
+    || { echo "FAIL: lockset findings under mostly on $trace" >&2; exit 1; }
 done
-echo "recorded event streams race-free under default and mostly"
+echo "recorded event streams race-free and lockset-clean under default and mostly"
 
 # Bounded schedule exploration: no quarantined chunk may be released
 # while a ground-truth pointer to it exists, no schedule may race, and
@@ -93,6 +103,54 @@ cmp "$workdir/explore1.txt" "$workdir/explore2.txt" \
 grep -q "violations=0 races=0" "$workdir/explore1.txt" \
   || { echo "FAIL: explorer summary reports findings" >&2; exit 1; }
 echo "explored 64 schedules: sound, race-free, deterministic"
+
+echo "== static dataflow analyzer (flowcheck)"
+# Dedicated suite: abstract-domain semantics, witness chains, bounds
+# math, the corpus known-bads statically flagged, lockset mutants, and
+# the zero-false-negative certification against the dynamic oracle.
+_build/default/test/test_main.exe test flowcheck >/dev/null
+echo "flowcheck suite passed"
+
+# `msweep analyze` must be deterministic: two runs over both seeded
+# traces render and export byte-identically.
+"$CLI" analyze -i "$workdir/espresso.trace" -i "$workdir/perl.trace" \
+  --json "$workdir/flow1.json" --lockset >"$workdir/flow1.txt"
+"$CLI" analyze -i "$workdir/espresso.trace" -i "$workdir/perl.trace" \
+  --json "$workdir/flow2.json" --lockset >"$workdir/flow2.txt"
+cmp "$workdir/flow1.json" "$workdir/flow2.json" \
+  || { echo "FAIL: analyze JSON differs across identical runs" >&2; exit 1; }
+# The rendered report embeds the --json path in its status line; strip
+# it before comparing the rest byte-for-byte.
+grep -v '^json ' "$workdir/flow1.txt" >"$workdir/flow1.stripped"
+grep -v '^json ' "$workdir/flow2.txt" >"$workdir/flow2.stripped"
+cmp "$workdir/flow1.stripped" "$workdir/flow2.stripped" \
+  || { echo "FAIL: analyze report differs across identical runs" >&2; exit 1; }
+head -1 "$workdir/flow1.json" | grep -q '"schema":"msweep-flowcheck-v1"' \
+  || { echo "FAIL: missing flowcheck JSON schema header" >&2; exit 1; }
+# perlbench's dangling rate must be statically visible, with a witness
+# chain, without replaying anything.
+grep -q "flow-dangling" "$workdir/flow1.txt" \
+  || { echo "FAIL: analyzer missed the dangling-rate workload" >&2; exit 1; }
+grep -q "witness:" "$workdir/flow1.txt" \
+  || { echo "FAIL: dangling findings carry no witness chain" >&2; exit 1; }
+# Exit-code parity with `check`: warnings are fatal only under --strict.
+"$CLI" analyze -i "$workdir/perl.trace" >/dev/null \
+  || { echo "FAIL: analyze warnings must not be fatal without --strict" >&2; exit 1; }
+"$CLI" analyze -i "$workdir/perl.trace" --strict >/dev/null 2>&1 \
+  && { echo "FAIL: analyze --strict must fail on findings" >&2; exit 1; }
+echo "analyze: deterministic output, static dangling coverage, shared --strict"
+
+echo "== bench smoke: static bounds vs dynamic telemetry"
+# Every mimalloc-bench profile: the static quarantine-occupancy and
+# sweep bounds must dominate the measured ms.* values, and every
+# dynamic oracle finding must have been statically predicted.
+"$CLI" figures --only static-bounds --scale 0.02 >"$workdir/staticfig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/staticfig.txt"; then
+  grep "REGRESSION" "$workdir/staticfig.txt" >&2
+  echo "FAIL: a measured ms.* value exceeded its static bound or an oracle finding was unpredicted" >&2
+  exit 1
+fi
+echo "static bounds dominate measured ms.* telemetry on every mimalloc profile"
 
 echo "== bench smoke: incremental sweeps fewer bytes than full"
 "$CLI" figures --only incremental-sweep --scale 0.02 >"$workdir/incfig.txt" 2>/dev/null

@@ -106,6 +106,16 @@ val parallel_mark : env -> string
     check.sh) if any domain count diverges or no profile reaches 1.5x
     at 4 domains. *)
 
+val static_bounds : env -> string
+(** Extension: static dataflow analysis vs dynamic replay on every
+    mimalloc-bench profile. The flowcheck analyzer computes quarantine
+    occupancy / swept-bytes / sweep-count bounds and retention
+    predictions from one replay-free trace pass; a real replay provides
+    the measured ms.* telemetry and the differential sweep oracle the
+    ground-truth findings. Prints a REGRESSION marker (grepped by
+    check.sh) if any measured value exceeds its static bound or any
+    dynamic oracle finding was not statically predicted. *)
+
 val all_figures : (string * (env -> string)) list
 (** In paper order; keys are ["fig1"], ["fig2"], ["fig7"] ... ["fig19"],
     plus ["scudo"], ["ptrtrack"], ["ablation-threshold"] and

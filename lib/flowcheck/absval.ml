@@ -1,0 +1,33 @@
+type slot =
+  | Root_slot of int
+  | Field_slot of int * int
+
+let slot_compare (a : slot) (b : slot) = compare a b
+
+let slot_to_string = function
+  | Root_slot w -> Printf.sprintf "root[%d]" w
+  | Field_slot (id, w) -> Printf.sprintf "obj%d[%d]" id w
+
+let normalize_root w = Root_slot (w mod Workloads.Trace.root_window_words)
+
+let normalize_field ~id ~size w =
+  if size < 8 then None else Some (Field_slot (id, w mod (size / 8)))
+
+type target =
+  | Ptr of int
+  | Alias of int
+  | Wild
+
+let target_id = function
+  | Ptr id | Alias id -> Some id
+  | Wild -> None
+
+let target_to_string = function
+  | Ptr id -> Printf.sprintf "&%d" id
+  | Alias id -> Printf.sprintf "alias(%d)" id
+  | Wild -> "wild"
+
+let classify_data value =
+  if value < 0 then `Alias (-value - 1)
+  else if value >= Layout.heap_base then `Wild
+  else `Harmless

@@ -1,0 +1,84 @@
+type info = {
+  size : int;
+  alloc_op : int;
+}
+
+type window_stats = {
+  opened : int;
+  closed : int;
+  open_at_end : int;
+  max_len : int;
+  total_len : int;
+}
+
+type t = {
+  live : (int, info) Hashtbl.t;
+  dead_size : (int, int) Hashtbl.t;
+  windows : (int, int) Hashtbl.t;  (* id -> open op *)
+  mutable opened : int;
+  mutable closed : int;
+  mutable max_len : int;
+  mutable total_len : int;
+}
+
+let create () =
+  {
+    live = Hashtbl.create 4096;
+    dead_size = Hashtbl.create 4096;
+    windows = Hashtbl.create 256;
+    opened = 0;
+    closed = 0;
+    max_len = 0;
+    total_len = 0;
+  }
+
+let on_alloc t ~id ~size ~op =
+  Hashtbl.remove t.dead_size id;
+  Hashtbl.replace t.live id { size; alloc_op = op }
+
+let on_free t ~id ~op:_ =
+  match Hashtbl.find_opt t.live id with
+  | None -> None
+  | Some info ->
+    Hashtbl.remove t.live id;
+    Hashtbl.replace t.dead_size id info.size;
+    Some info
+
+let find t id = Hashtbl.find_opt t.live id
+let live_count t = Hashtbl.length t.live
+let freed_size t id = Hashtbl.find_opt t.dead_size id
+
+let open_window t ~id ~op =
+  if not (Hashtbl.mem t.windows id) then begin
+    Hashtbl.replace t.windows id op;
+    t.opened <- t.opened + 1
+  end
+
+let window_is_open t id = Hashtbl.mem t.windows id
+
+let account t len =
+  t.max_len <- max t.max_len len;
+  t.total_len <- t.total_len + len
+
+let close_window t ~id ~op =
+  match Hashtbl.find_opt t.windows id with
+  | None -> ()
+  | Some opened_at ->
+    Hashtbl.remove t.windows id;
+    t.closed <- t.closed + 1;
+    account t (op - opened_at)
+
+let window_stats t ~end_op =
+  let open_at_end = Hashtbl.length t.windows in
+  (* Open windows ran to the end of the trace: measure them there. *)
+  let tail =
+    Hashtbl.fold (fun _ opened_at acc -> (end_op - opened_at) :: acc)
+      t.windows []
+  in
+  {
+    opened = t.opened;
+    closed = t.closed;
+    open_at_end;
+    max_len = List.fold_left max t.max_len tail;
+    total_len = List.fold_left ( + ) t.total_len tail;
+  }

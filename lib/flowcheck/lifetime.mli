@@ -1,0 +1,48 @@
+(** Per-object live ranges and dangling windows.
+
+    An object's *dangling window* opens at the [Free] that leaves at
+    least one live slot targeting it (the paper's Section 3.2
+    precondition: exactly the state in which MineSweeper must keep the
+    extent quarantined) and closes when the last such slot dies —
+    overwritten, cleared, or its holder freed. Window lengths are
+    measured in trace ops. *)
+
+type info = {
+  size : int;  (** requested bytes *)
+  alloc_op : int;
+}
+
+type window_stats = {
+  opened : int;
+  closed : int;
+  open_at_end : int;  (** windows still open when the trace ended *)
+  max_len : int;  (** longest window, in ops (open windows measured to
+                      the end of the trace) *)
+  total_len : int;
+}
+
+type t
+
+val create : unit -> t
+val on_alloc : t -> id:int -> size:int -> op:int -> unit
+
+val on_free : t -> id:int -> op:int -> info option
+(** Retire a live id, returning its record; [None] if the id is not
+    live (double-free / never allocated — the lint's department). *)
+
+val find : t -> int -> info option
+(** Live ids only. *)
+
+val live_count : t -> int
+val freed_size : t -> int -> int option
+(** Requested size of a freed (dead) id. *)
+
+val open_window : t -> id:int -> op:int -> unit
+(** Idempotent: reopening an already-open window is a no-op. *)
+
+val window_is_open : t -> int -> bool
+
+val close_window : t -> id:int -> op:int -> unit
+(** Close the id's window at [op]; no-op when none is open. *)
+
+val window_stats : t -> end_op:int -> window_stats

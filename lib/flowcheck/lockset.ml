@@ -1,0 +1,165 @@
+module Event = Racecheck.Event
+module Diagnostic = Sanitizer.Diagnostic
+
+let rules =
+  [
+    ("ls-early-release", "release decision not dominated by Mark_done");
+    ( "ls-hidden-publish",
+      "a locked-in address was republished in the window and released \
+       with no Fence ordering the write before the decision" );
+    ("ls-release-unlocked", "release of an address the sweep never locked in");
+    ( "ls-lost-entry",
+      "a requeued entry missing from the next lock-in, or a locked-in \
+       entry neither released nor requeued by sweep end" );
+    ("ls-serve-quarantined", "allocator served an address still locked in");
+  ]
+
+type sweep_state = {
+  sweep : int;
+  locked : (int, unit) Hashtbl.t;
+  released : (int, unit) Hashtbl.t;
+  requeued : (int, unit) Hashtbl.t;
+  mutable mark_done : bool;
+  (* addresses republished by a mutator since the last Fence *)
+  unfenced : (int, unit) Hashtbl.t;
+}
+
+let analyze events =
+  let diags = ref [] in
+  let flag ~rule ~seq fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          Diagnostic.make ~rule ~severity:Diagnostic.Error ~op_index:seq
+            message
+          :: !diags)
+      fmt
+  in
+  let current = ref None in
+  let pending_requeues : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      let seq = e.Event.seq in
+      match e.Event.kind with
+      | Event.Lock_in { sweep; entries } ->
+        let locked = Hashtbl.create 64 in
+        List.iter (fun (addr, _usable) -> Hashtbl.replace locked addr ()) entries;
+        Hashtbl.iter
+          (fun addr () ->
+            if not (Hashtbl.mem locked addr) then
+              flag ~rule:"ls-lost-entry" ~seq
+                "sweep %d lock-in dropped requeued entry %#x" sweep addr)
+          pending_requeues;
+        Hashtbl.reset pending_requeues;
+        current :=
+          Some
+            {
+              sweep;
+              locked;
+              released = Hashtbl.create 64;
+              requeued = Hashtbl.create 16;
+              mark_done = false;
+              unfenced = Hashtbl.create 16;
+            }
+      | Event.Mark_done _ -> (
+        match !current with
+        | Some s -> s.mark_done <- true
+        | None -> ())
+      | Event.Write { value; _ } -> (
+        match !current with
+        | Some s
+          when Hashtbl.mem s.locked value && not (Hashtbl.mem s.released value)
+          ->
+          Hashtbl.replace s.unfenced value ()
+        | Some _ | None -> ())
+      | Event.Fence _ -> (
+        match !current with
+        | Some s -> Hashtbl.reset s.unfenced
+        | None -> ())
+      | Event.Release { sweep; addr } -> (
+        match !current with
+        | None ->
+          flag ~rule:"ls-release-unlocked" ~seq
+            "sweep %d released %#x outside any lock-in" sweep addr
+        | Some s ->
+          if not s.mark_done then
+            flag ~rule:"ls-early-release" ~seq
+              "sweep %d released %#x before Mark_done" sweep addr;
+          if not (Hashtbl.mem s.locked addr) then
+            flag ~rule:"ls-release-unlocked" ~seq
+              "sweep %d released %#x which it never locked in" sweep addr;
+          if Hashtbl.mem s.unfenced addr then
+            flag ~rule:"ls-hidden-publish" ~seq
+              "sweep %d released %#x after a window write republished it \
+               with no intervening Fence"
+              s.sweep addr;
+          Hashtbl.replace s.released addr ())
+      | Event.Requeue { addr; _ } -> (
+        match !current with
+        | Some s -> Hashtbl.replace s.requeued addr ()
+        | None -> ())
+      | Event.Sweep_done { sweep } -> (
+        match !current with
+        | None -> ()
+        | Some s ->
+          Hashtbl.iter
+            (fun addr () ->
+              if
+                (not (Hashtbl.mem s.released addr))
+                && not (Hashtbl.mem s.requeued addr)
+              then
+                flag ~rule:"ls-lost-entry" ~seq
+                  "sweep %d ended with locked-in entry %#x neither released \
+                   nor requeued"
+                  sweep addr)
+            s.locked;
+          Hashtbl.reset pending_requeues;
+          Hashtbl.iter
+            (fun addr () -> Hashtbl.replace pending_requeues addr ())
+            s.requeued;
+          current := None)
+      | Event.Serve { addr; _ } -> (
+        let quarantined =
+          Hashtbl.mem pending_requeues addr
+          ||
+          match !current with
+          | Some s ->
+            Hashtbl.mem s.locked addr && not (Hashtbl.mem s.released addr)
+          | None -> false
+        in
+        if quarantined then
+          flag ~rule:"ls-serve-quarantined" ~seq
+            "allocator served %#x while it is still locked in / requeued" addr)
+      | Event.Push _ | Event.Flush _ | Event.Mark_read _
+      | Event.Rescan_read _ ->
+        ())
+    events;
+  List.rev !diags
+
+type mutant_result = {
+  name : string;
+  expected : string list;
+  got : string list;
+  passed : bool;
+}
+
+let expected_rules = function
+  | Sanitizer.Corpus.Skip_stw_fence -> [ "ls-hidden-publish" ]
+  | Sanitizer.Corpus.Release_before_mark_done -> [ "ls-early-release" ]
+  | Sanitizer.Corpus.Lose_requeued_entry -> [ "ls-lost-entry" ]
+
+let self_test () =
+  let check name expected mutation =
+    let diags = analyze (Racecheck.Protocol.stream ?mutation ()) in
+    let got =
+      List.sort_uniq compare (List.map (fun d -> d.Diagnostic.rule) diags)
+    in
+    { name; expected; got; passed = got = expected }
+  in
+  check "unmutated" [] None
+  :: List.map
+       (fun (m : Sanitizer.Corpus.protocol_mutant) ->
+         check m.Sanitizer.Corpus.mutant_name
+           (expected_rules m.Sanitizer.Corpus.mutation)
+           (Some m.Sanitizer.Corpus.mutation))
+       Sanitizer.Corpus.protocol_mutants

@@ -1,0 +1,30 @@
+(** Eraser-style static lockset discipline over the sweep protocol.
+
+    Where {!Racecheck.Hb} proves presence/absence of happens-before
+    edges with vector clocks, this pass checks a purely syntactic
+    discipline on the same {!Racecheck.Event.t} stream: every release
+    decision must be dominated by its sweep's [Lock_in]/[Mark_done] and,
+    when a mutator republished a locked-in address during the window, by
+    a [Fence]. It needs no clocks and no replay, so it runs on recorded
+    streams and on the protocol emulator alike and complements the
+    vector-clock detector (a conservative discipline can flag schedules
+    the clocks prove benign — the point is drift detection, not
+    precision). *)
+
+val rules : (string * string) list
+(** Rule id, one-line description. *)
+
+val analyze : Racecheck.Event.t list -> Sanitizer.Diagnostic.t list
+(** Findings in event order; [op_index] is the event's [seq]. *)
+
+type mutant_result = {
+  name : string;
+  expected : string list;
+  got : string list;
+  passed : bool;
+}
+
+val self_test : unit -> mutant_result list
+(** Run {!Racecheck.Protocol.stream} unmutated (must come back clean)
+    and under every seeded mutant (each must raise exactly its expected
+    lockset rules). *)

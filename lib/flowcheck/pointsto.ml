@@ -1,0 +1,127 @@
+type t = {
+  contents : (Absval.slot, Absval.target * int) Hashtbl.t;
+  (* target id -> slots binding it (pointer or alias edges) *)
+  holders : (int, (Absval.slot, unit) Hashtbl.t) Hashtbl.t;
+  (* holder id -> slots living inside it *)
+  fields : (int, (Absval.slot, unit) Hashtbl.t) Hashtbl.t;
+  mutable wilds : int;
+}
+
+let create () =
+  {
+    contents = Hashtbl.create 4096;
+    holders = Hashtbl.create 1024;
+    fields = Hashtbl.create 1024;
+    wilds = 0;
+  }
+
+let index_add tbl key slot =
+  let set =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace tbl key s;
+      s
+  in
+  Hashtbl.replace set slot ()
+
+let index_remove tbl key slot =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some set ->
+    Hashtbl.remove set slot;
+    if Hashtbl.length set = 0 then Hashtbl.remove tbl key
+
+(* Drop one binding and keep every index in step with [contents]. *)
+let unbind t slot (target, _op) =
+  Hashtbl.remove t.contents slot;
+  (match Absval.target_id target with
+  | Some id -> index_remove t.holders id slot
+  | None -> t.wilds <- t.wilds - 1);
+  match slot with
+  | Absval.Field_slot (h, _) -> index_remove t.fields h slot
+  | Absval.Root_slot _ -> ()
+
+let clear t slot =
+  match Hashtbl.find_opt t.contents slot with
+  | None -> None
+  | Some binding ->
+    unbind t slot binding;
+    Some binding
+
+let store t slot target ~op =
+  let displaced = clear t slot in
+  Hashtbl.replace t.contents slot (target, op);
+  (match Absval.target_id target with
+  | Some id -> index_add t.holders id slot
+  | None -> t.wilds <- t.wilds + 1);
+  (match slot with
+  | Absval.Field_slot (h, _) -> index_add t.fields h slot
+  | Absval.Root_slot _ -> ());
+  displaced
+
+let contents t slot = Hashtbl.find_opt t.contents slot
+
+let edge_sort edges =
+  List.sort
+    (fun (s1, _, o1) (s2, _, o2) ->
+      match compare o1 o2 with 0 -> Absval.slot_compare s1 s2 | c -> c)
+    edges
+
+let holders t id =
+  match Hashtbl.find_opt t.holders id with
+  | None -> []
+  | Some set ->
+    Hashtbl.fold
+      (fun slot () acc ->
+        match Hashtbl.find_opt t.contents slot with
+        | Some (target, op) -> (slot, target, op) :: acc
+        | None -> acc)
+      set []
+    |> edge_sort
+
+let holder_count t id =
+  match Hashtbl.find_opt t.holders id with
+  | None -> 0
+  | Some set -> Hashtbl.length set
+
+let drop_fields_of t id =
+  match Hashtbl.find_opt t.fields id with
+  | None -> []
+  | Some set ->
+    let slots = Hashtbl.fold (fun slot () acc -> slot :: acc) set [] in
+    let removed =
+      List.filter_map
+        (fun slot ->
+          match Hashtbl.find_opt t.contents slot with
+          | Some (target, op) ->
+            unbind t slot (target, op);
+            Some (slot, target, op)
+          | None -> None)
+        slots
+    in
+    Hashtbl.remove t.fields id;
+    edge_sort removed
+
+let wild_count t = t.wilds
+let edge_count t = Hashtbl.length t.contents
+
+let max_chain_depth = 8
+
+let witness_chain t slot =
+  let rec walk slot visited depth acc =
+    match Hashtbl.find_opt t.contents slot with
+    | None -> List.rev acc
+    | Some (_, op) -> (
+      let acc = (slot, op) :: acc in
+      match slot with
+      | Absval.Root_slot _ -> List.rev acc
+      | Absval.Field_slot (h, _) ->
+        if depth >= max_chain_depth || List.mem h visited then List.rev acc
+        else (
+          match holders t h with
+          | [] -> List.rev acc
+          | (up, _, _) :: _ -> walk up (h :: visited) (depth + 1) acc))
+  in
+  walk slot [] 0 []

@@ -1,0 +1,44 @@
+(** The allocation-site-keyed points-to graph, maintained in one pass.
+
+    Nodes are object ids and abstract slots ({!Absval.slot}); an edge
+    [slot -> target] records the last store into the slot and the op
+    index at which it happened. The graph holds only *live* state — one
+    binding per slot, dropped when the slot is overwritten, cleared or
+    its holder dies — so its size is bounded by the number of
+    simultaneously-live slots, never by trace length. *)
+
+type t
+
+val create : unit -> t
+
+val store : t -> Absval.slot -> Absval.target -> op:int -> (Absval.target * int) option
+(** Bind the slot, returning the displaced binding (if any) so the
+    caller can account for the edge that just died. *)
+
+val clear : t -> Absval.slot -> (Absval.target * int) option
+(** Remove the slot's binding and return it. *)
+
+val contents : t -> Absval.slot -> (Absval.target * int) option
+
+val holders : t -> int -> (Absval.slot * Absval.target * int) list
+(** Every slot whose binding targets object [id] (pointer or alias),
+    with the kind and the store op; sorted by (op, slot) so iteration is
+    deterministic. *)
+
+val holder_count : t -> int -> int
+
+val drop_fields_of : t -> int -> (Absval.slot * Absval.target * int) list
+(** Remove every binding held in a slot *inside* object [id] (the
+    object died and its memory was zeroed); returns the removed edges
+    sorted by (op, slot). *)
+
+val wild_count : t -> int
+(** Live slots currently holding a heap-range data value. *)
+
+val edge_count : t -> int
+
+val witness_chain : t -> Absval.slot -> (Absval.slot * int) list
+(** The write chain that keeps a slot reachable: the slot itself (with
+    its store op), then — while the slot lives inside an object — a
+    deterministic holder of that object (earliest store op wins), up to
+    a root slot or a bounded depth. Innermost slot first. *)

@@ -1,0 +1,200 @@
+module Config = Minesweeper.Config
+
+type t =
+  | Minesweeper of Config.t
+  | Ffmalloc
+  | Markus
+
+let name = function
+  | Ffmalloc -> "ffmalloc"
+  | Markus -> "markus"
+  | Minesweeper c -> (
+    match Config.preset_name c with
+    | Some "default" | None -> "minesweeper"
+    | Some p -> "minesweeper-" ^ p)
+
+let default_policies = [ Minesweeper Config.default; Ffmalloc; Markus ]
+
+let of_string s =
+  match s with
+  | "all" -> Ok default_policies
+  | "ffmalloc" | "ff" -> Ok [ Ffmalloc ]
+  | "markus" -> Ok [ Markus ]
+  | "minesweeper" | "ms" -> Ok [ Minesweeper Config.default ]
+  | p -> (
+    match Config.of_preset p with
+    | Ok c -> Ok [ Minesweeper c ]
+    | Error msg -> Error msg)
+
+let page = Vmem.page_size
+
+let jemalloc_usable size =
+  if Alloc.Size_class.is_small size then
+    Alloc.Size_class.size_of_class (Alloc.Size_class.class_of_size size)
+  else Alloc.Size_class.large_pages size * page
+
+let usable t size =
+  match t with
+  | Minesweeper _ ->
+    (* Instance backends always run with the extra past-the-end byte. *)
+    jemalloc_usable (max 1 size + 1)
+  | Markus -> jemalloc_usable (max 1 size)
+  | Ffmalloc ->
+    let size = max 1 size in
+    if size <= 2048 then (size + 15) / 16 * 16
+    else (size + page - 1) / page * page
+
+let zeroing = function
+  | Minesweeper c -> c.Config.zeroing
+  | Ffmalloc -> false
+  | Markus -> true
+
+let shadow_granule = function
+  | Minesweeper c -> Some c.Config.shadow_granule
+  | Ffmalloc | Markus -> None
+
+type bounds = {
+  policy : string;
+  allocs : int;
+  frees : int;
+  peak_live_bytes : int;
+  total_freed_bytes : int;
+  max_entry_bytes : int;
+  occupancy_bound : int;
+  modeled_occupancy : int;
+  sweeps_bound : int;
+  swept_bytes_bound : int;
+  never_reuse : bool;
+}
+
+type acc = {
+  pol : t;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable total_freed : int;
+  mutable max_entry : int;
+  mutable unmappable_freed : int;  (* frees spanning at least one page *)
+}
+
+let acc pol =
+  {
+    pol;
+    allocs = 0;
+    frees = 0;
+    live = 0;
+    peak_live = 0;
+    total_freed = 0;
+    max_entry = 0;
+    unmappable_freed = 0;
+  }
+
+let acc_alloc a ~size =
+  let u = usable a.pol size in
+  a.allocs <- a.allocs + 1;
+  a.live <- a.live + u;
+  if a.live > a.peak_live then a.peak_live <- a.live
+
+let acc_free a ~size =
+  let u = usable a.pol size in
+  a.frees <- a.frees + 1;
+  a.live <- max 0 (a.live - u);
+  a.total_freed <- a.total_freed + u;
+  if u > a.max_entry then a.max_entry <- u;
+  if u >= page then a.unmappable_freed <- a.unmappable_freed + u
+
+let roots_bytes =
+  List.fold_left (fun acc (_, size) -> acc + size) 0 Layout.root_regions
+
+(* Committed-heap ceiling for the swept-bytes bound: the mark only reads
+   committed pages, and jemalloc's footprint is live + quarantined data
+   times a slab-fragmentation factor, plus at most one partly-used slab
+   per small class. Stated as an assumption in DESIGN §11. *)
+let frag_factor = 4
+
+let finish a ~retained_bytes =
+  let policy = name a.pol in
+  match a.pol with
+  | Ffmalloc ->
+    {
+      policy;
+      allocs = a.allocs;
+      frees = a.frees;
+      peak_live_bytes = a.peak_live;
+      total_freed_bytes = a.total_freed;
+      max_entry_bytes = a.max_entry;
+      (* never-reuse: "occupancy" is retired address space *)
+      occupancy_bound = a.total_freed;
+      modeled_occupancy = a.total_freed;
+      sweeps_bound = 0;
+      swept_bytes_bound = 0;
+      never_reuse = true;
+    }
+  | Markus ->
+    {
+      policy;
+      allocs = a.allocs;
+      frees = a.frees;
+      peak_live_bytes = a.peak_live;
+      total_freed_bytes = a.total_freed;
+      max_entry_bytes = a.max_entry;
+      occupancy_bound = a.total_freed;
+      modeled_occupancy = a.total_freed;
+      sweeps_bound = 0;
+      swept_bytes_bound = 0;
+      never_reuse = false;
+    }
+  | Minesweeper c ->
+    let quarantining = c.Config.quarantining in
+    let occupancy_bound = if quarantining then a.total_freed else 0 in
+    let ceil_mul f v = int_of_float (ceil (f *. float_of_int v)) in
+    let modeled_occupancy =
+      if not quarantining then 0
+      else
+        min occupancy_bound
+          (max c.Config.threshold_min_bytes
+             (ceil_mul c.Config.threshold a.peak_live)
+          + ceil_mul c.Config.pause_factor a.peak_live
+          + retained_bytes + a.max_entry)
+    in
+    let sweeps_bound =
+      if not quarantining then 0
+      else begin
+        (* Each threshold-triggered sweep consumes at least
+           [threshold_min_bytes] of fresh quarantine inflow, and total
+           inflow is [total_freed]; the unmap trigger can only fire at
+           all when enough page-spanning bytes were freed to clear the
+           factor against the always-committed root regions. *)
+        let threshold_sweeps =
+          (a.total_freed / max 1 c.Config.threshold_min_bytes) + 2
+        in
+        let unmap_risk =
+          c.Config.unmapping
+          && float_of_int a.unmappable_freed
+             >= c.Config.unmap_factor *. float_of_int roots_bytes
+        in
+        if unmap_risk then a.frees + 2 else min threshold_sweeps (a.frees + 2)
+      end
+    in
+    let per_sweep_scan =
+      (* mark pass + stop-the-world rescan, each over at most the
+         committed footprint *)
+      2
+      * (roots_bytes
+        + (frag_factor * (a.peak_live + occupancy_bound))
+        + (Alloc.Size_class.count * 8 * page))
+    in
+    {
+      policy;
+      allocs = a.allocs;
+      frees = a.frees;
+      peak_live_bytes = a.peak_live;
+      total_freed_bytes = a.total_freed;
+      max_entry_bytes = a.max_entry;
+      occupancy_bound;
+      modeled_occupancy;
+      sweeps_bound;
+      swept_bytes_bound = sweeps_bound * per_sweep_scan;
+      never_reuse = false;
+    }

@@ -1,0 +1,64 @@
+(** The backend-policy lattice: how each scheme under evaluation turns a
+    requested size into usable bytes, and the static bounds the analyzer
+    can prove about its quarantine from a single trace pass.
+
+    The bounds come in two strengths, kept separate on purpose:
+
+    - [occupancy_bound] is *unconditionally sound*: a quarantine can
+      never hold more than the sum of usable bytes of everything ever
+      freed, whatever the sweep schedule does. The differential gate
+      compares the measured [ms.peak_quarantine_bytes] against it.
+    - [modeled_occupancy] is the trigger-aware estimate (threshold,
+      pause factor, retained candidates): informative, not a guarantee.
+    - [sweeps_bound] and [swept_bytes_bound] are sound under the stated
+      fragmentation assumption (committed heap at most [frag_factor]
+      times peak live-plus-quarantined bytes, plus one slab per size
+      class) — see DESIGN §11; the dynamic comparison exists exactly to
+      catch the assumption breaking. *)
+
+type t =
+  | Minesweeper of Minesweeper.Config.t
+  | Ffmalloc
+  | Markus
+
+val name : t -> string
+val default_policies : t list
+(** [minesweeper (default); ffmalloc; markus] — the head is the primary
+    policy driving the points-to graph semantics (zeroing, granule). *)
+
+val of_string : string -> (t list, string) result
+(** ["all"], ["minesweeper"]/["ms"], a MineSweeper preset name
+    (["mostly"], ["incremental"], ...), ["ffmalloc"]/["ff"] or
+    ["markus"]. *)
+
+val usable : t -> int -> int
+(** Usable bytes backing a request: the policy's own size rounding
+    (MineSweeper adds the paper's extra byte before class rounding). *)
+
+val zeroing : t -> bool
+val shadow_granule : t -> int option
+(** MineSweeper only. *)
+
+type bounds = {
+  policy : string;
+  allocs : int;
+  frees : int;
+  peak_live_bytes : int;  (** peak of sum of live usable bytes *)
+  total_freed_bytes : int;  (** sum of usable bytes over every free *)
+  max_entry_bytes : int;
+  occupancy_bound : int;  (** sound quarantine-occupancy ceiling *)
+  modeled_occupancy : int;  (** trigger-aware estimate, <= occupancy_bound *)
+  sweeps_bound : int;
+  swept_bytes_bound : int;
+  never_reuse : bool;  (** ffmalloc: the bound is retired address space *)
+}
+
+type acc
+
+val acc : t -> acc
+val acc_alloc : acc -> size:int -> unit
+val acc_free : acc -> size:int -> unit
+
+val finish : acc -> retained_bytes:int -> bounds
+(** [retained_bytes]: usable bytes of frees the analyzer predicts the
+    conservative sweep may retain (feeds [modeled_occupancy] only). *)

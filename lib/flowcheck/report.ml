@@ -1,0 +1,359 @@
+module Trace = Workloads.Trace
+module Diagnostic = Sanitizer.Diagnostic
+
+type window_stats = Lifetime.window_stats = {
+  opened : int;
+  closed : int;
+  open_at_end : int;
+  max_len : int;
+  total_len : int;
+}
+
+type t = {
+  trace_name : string;
+  threads : int;
+  ops : int;
+  allocs : int;
+  frees : int;
+  findings : Diagnostic.t list;
+  predicted_unsound : int list;
+  predicted_retained : int list;
+  windows : window_stats;
+  wild_stores : int;
+  subgranule_frees : int;
+  bounds : Policy.bounds list;
+}
+
+let primary_policy policies =
+  match
+    List.find_opt (function Policy.Minesweeper _ -> true | _ -> false) policies
+  with
+  | Some p -> p
+  | None -> Policy.Minesweeper Minesweeper.Config.default
+
+let render_chain chain id =
+  let hops =
+    List.rev_map
+      (fun (slot, op) -> Printf.sprintf "%s@%d" (Absval.slot_to_string slot) op)
+      chain
+  in
+  String.concat " -> " (hops @ [ Printf.sprintf "id %d" id ])
+
+let analyze ?(policies = Policy.default_policies) stream =
+  let primary = primary_policy policies in
+  let zeroing = Policy.zeroing primary in
+  let granule = Option.value ~default:16 (Policy.shadow_granule primary) in
+  let lt = Lifetime.create () in
+  let pt = Pointsto.create () in
+  let accs = List.map (fun p -> (p, Policy.acc p)) policies in
+  let diags = ref [] in
+  let flag ~rule ~op message =
+    diags :=
+      Diagnostic.make ~rule ~severity:Diagnostic.Warning ~op_index:op message
+      :: !diags
+  in
+  let unsound : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let retained : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let retain id size = Hashtbl.replace retained id size in
+  let wild_stores = ref 0 in
+  let subgranule = ref 0 in
+  let allocs = ref 0 in
+  let frees = ref 0 in
+  (* An edge to [id] died at [op]: close the dangling window once the
+     last one is gone. *)
+  let edge_died op = function
+    | None -> ()
+    | Some (target, _stored_at) -> (
+      match Absval.target_id target with
+      | Some id
+        when Lifetime.find lt id = None
+             && Lifetime.window_is_open lt id
+             && Pointsto.holder_count pt id = 0 ->
+        Lifetime.close_window lt ~id ~op
+      | Some _ | None -> ())
+  in
+  let resolve loc =
+    match loc with
+    | Trace.Root w -> Some (Absval.normalize_root w)
+    | Trace.Field (id, w) -> (
+      match Lifetime.find lt id with
+      | Some { Lifetime.size; _ } -> Absval.normalize_field ~id ~size w
+      | None -> None)
+  in
+  let step () i op =
+    (match op with
+    | Trace.Alloc { id; size } ->
+      incr allocs;
+      List.iter (fun (_, a) -> Policy.acc_alloc a ~size) accs;
+      Lifetime.on_alloc lt ~id ~size ~op:i
+    | Trace.Free { id; thread = _ } -> (
+      match Lifetime.on_free lt ~id ~op:i with
+      | None -> ()
+      | Some { Lifetime.size; _ } ->
+        incr frees;
+        List.iter (fun (_, a) -> Policy.acc_free a ~size) accs;
+        let edges = Pointsto.holders pt id in
+        let outside =
+          List.filter
+            (fun (slot, _, _) ->
+              match slot with
+              | Absval.Field_slot (h, _) -> h <> id
+              | Absval.Root_slot _ -> true)
+            edges
+        in
+        (* Zeroing destroys every slot stored inside the dying object —
+           exactly what the replay's registry drop models. *)
+        if zeroing then
+          List.iter
+            (fun (_, target, stored_at) ->
+              edge_died i (Some (target, stored_at)))
+            (Pointsto.drop_fields_of pt id);
+        let ptrs, aliases =
+          List.partition
+            (fun (_, target, _) ->
+              match target with Absval.Ptr _ -> true | _ -> false)
+            outside
+        in
+        (match ptrs with
+        | (slot, _, _) :: _ ->
+          Hashtbl.replace unsound id ();
+          retain id size;
+          flag ~rule:"flow-dangling" ~op:i
+            (Printf.sprintf
+               "id %d freed while %d live slot(s) still point at it; \
+                witness: %s"
+               id (List.length ptrs)
+               (render_chain (Pointsto.witness_chain pt slot) id))
+        | [] -> ());
+        (match (ptrs, aliases) with
+        | [], (slot, _, _) :: _ ->
+          retain id size;
+          flag ~rule:"flow-alias" ~op:i
+            (Printf.sprintf
+               "id %d freed while %d data slot(s) alias its address \
+                (unlucky integers, e.g. %s): conservative retention expected"
+               id (List.length aliases)
+               (Absval.slot_to_string slot))
+        | _ -> ());
+        if outside <> [] then Lifetime.open_window lt ~id ~op:i;
+        if Pointsto.wild_count pt > 0 then retain id size;
+        if Policy.usable primary size < granule then begin
+          incr subgranule;
+          retain id size
+        end)
+    | Trace.Store_ptr { loc; target } -> (
+      match (resolve loc, Lifetime.find lt target) with
+      | Some slot, Some _ ->
+        edge_died i (Pointsto.store pt slot (Absval.Ptr target) ~op:i)
+      | _ -> ())
+    | Trace.Clear_ptr { loc; target } -> (
+      match (resolve loc, Lifetime.find lt target) with
+      | Some slot, Some _ -> (
+        match Pointsto.contents pt slot with
+        | Some ((Absval.Ptr t | Absval.Alias t), _) when t = target ->
+          edge_died i (Pointsto.clear pt slot)
+        | Some _ | None -> ())
+      | _ -> ())
+    | Trace.Store_data { loc; value } -> (
+      match resolve loc with
+      | None -> ()
+      | Some slot -> (
+        match Absval.classify_data value with
+        | `Alias id when Lifetime.find lt id <> None ->
+          edge_died i (Pointsto.store pt slot (Absval.Alias id) ~op:i)
+        | `Alias _ | `Harmless ->
+          (* dead-alias values resolve to 0 at replay: a plain clear *)
+          edge_died i (Pointsto.clear pt slot)
+        | `Wild ->
+          incr wild_stores;
+          flag ~rule:"flow-wild" ~op:i
+            (Printf.sprintf
+               "heap-range data value %#x stored at %s may alias any \
+                allocation (conservative retention possible)"
+               value (Absval.slot_to_string slot));
+          edge_died i (Pointsto.store pt slot Absval.Wild ~op:i)))
+    | Trace.Work _ -> ());
+    ()
+  in
+  let ops = ref 0 in
+  Trace.fold_stream stream ~init:() ~f:(fun () i op ->
+      ops := i + 1;
+      step () i op);
+  let sorted_keys tbl =
+    Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] |> List.sort compare
+  in
+  let retained_ids = sorted_keys retained in
+  let bounds =
+    List.map
+      (fun (pol, a) ->
+        let retained_bytes =
+          Hashtbl.fold
+            (fun _ size acc -> acc + Policy.usable pol size)
+            retained 0
+        in
+        Policy.finish a ~retained_bytes)
+      accs
+  in
+  {
+    trace_name = Trace.stream_name stream;
+    threads = Trace.stream_threads stream;
+    ops = !ops;
+    allocs = !allocs;
+    frees = !frees;
+    findings = Diagnostic.sort (List.rev !diags);
+    predicted_unsound = sorted_keys unsound;
+    predicted_retained = retained_ids;
+    windows = Lifetime.window_stats lt ~end_op:!ops;
+    wild_stores = !wild_stores;
+    subgranule_frees = !subgranule;
+    bounds;
+  }
+
+let analyze_trace ?policies trace =
+  analyze ?policies (Trace.stream_of_trace trace)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_ints ids =
+  "[" ^ String.concat "," (List.map string_of_int ids) ^ "]"
+
+let bounds_to_json (b : Policy.bounds) =
+  Printf.sprintf
+    "{\"policy\":\"%s\",\"allocs\":%d,\"frees\":%d,\"peak_live_bytes\":%d,\
+     \"total_freed_bytes\":%d,\"max_entry_bytes\":%d,\"occupancy_bound\":%d,\
+     \"modeled_occupancy\":%d,\"sweeps_bound\":%d,\"swept_bytes_bound\":%d,\
+     \"never_reuse\":%b}"
+    (json_escape b.Policy.policy)
+    b.Policy.allocs b.Policy.frees b.Policy.peak_live_bytes
+    b.Policy.total_freed_bytes b.Policy.max_entry_bytes
+    b.Policy.occupancy_bound b.Policy.modeled_occupancy b.Policy.sweeps_bound
+    b.Policy.swept_bytes_bound b.Policy.never_reuse
+
+let finding_to_json (d : Diagnostic.t) =
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"op\":%d,\"message\":\"%s\"}"
+    (json_escape d.Diagnostic.rule)
+    (Diagnostic.severity_to_string d.Diagnostic.severity)
+    d.Diagnostic.op_index
+    (json_escape d.Diagnostic.message)
+
+let to_json t =
+  Printf.sprintf
+    "{\"schema\":\"msweep-flowcheck-v1\",\"trace\":\"%s\",\"threads\":%d,\
+     \"ops\":%d,\"allocs\":%d,\"frees\":%d,\"findings\":[%s],\
+     \"predicted_unsound\":%s,\"predicted_retained\":%s,\
+     \"windows\":{\"opened\":%d,\"closed\":%d,\"open_at_end\":%d,\
+     \"max_len\":%d,\"total_len\":%d},\"wild_stores\":%d,\
+     \"subgranule_frees\":%d,\"bounds\":[%s]}"
+    (json_escape t.trace_name) t.threads t.ops t.allocs t.frees
+    (String.concat "," (List.map finding_to_json t.findings))
+    (json_ints t.predicted_unsound)
+    (json_ints t.predicted_retained)
+    t.windows.opened t.windows.closed t.windows.open_at_end t.windows.max_len
+    t.windows.total_len t.wild_stores t.subgranule_frees
+    (String.concat "," (List.map bounds_to_json t.bounds))
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "flowcheck: %s: %d ops, %d allocs, %d frees, %d finding(s)"
+    t.trace_name t.ops t.allocs t.frees (List.length t.findings);
+  List.iter (fun d -> line "  %s" (Diagnostic.to_string d)) t.findings;
+  line
+    "  dangling windows: %d opened, %d closed, %d open at end (max %d ops, \
+     total %d ops)"
+    t.windows.opened t.windows.closed t.windows.open_at_end t.windows.max_len
+    t.windows.total_len;
+  line "  predicted unsound-if-recycled: %d id(s); predicted retention: %d \
+        id(s); wild stores: %d; sub-granule frees: %d"
+    (List.length t.predicted_unsound)
+    (List.length t.predicted_retained)
+    t.wild_stores t.subgranule_frees;
+  List.iter
+    (fun (b : Policy.bounds) ->
+      line
+        "  [%s] peak live %d B; occupancy bound %d B (modeled %d B); sweeps \
+         <= %d; swept <= %d B%s"
+        b.Policy.policy b.Policy.peak_live_bytes b.Policy.occupancy_bound
+        b.Policy.modeled_occupancy b.Policy.sweeps_bound
+        b.Policy.swept_bytes_bound
+        (if b.Policy.never_reuse then " (never-reuse: retired address space)"
+         else ""))
+    t.bounds;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Differential bound check                                            *)
+
+let check_bounds t ~policy ~peak_quarantine_bytes ~swept_bytes ~sweeps =
+  match
+    List.find_opt (fun (b : Policy.bounds) -> b.Policy.policy = policy) t.bounds
+  with
+  | None ->
+    [
+      Diagnostic.make ~rule:"flow-bound-missing" ~severity:Diagnostic.Error
+        (Printf.sprintf "no static bounds for policy %s in this report" policy);
+    ]
+  | Some b ->
+    let out = ref [] in
+    let check rule measured bound what =
+      if measured > bound then
+        out :=
+          Diagnostic.make ~rule ~severity:Diagnostic.Error
+            (Printf.sprintf
+               "measured %s (%d) exceeds the static bound (%d) for %s" what
+               measured bound policy)
+          :: !out
+    in
+    check "flow-bound-occupancy" peak_quarantine_bytes b.Policy.occupancy_bound
+      "ms.peak_quarantine_bytes";
+    check "flow-bound-swept" swept_bytes b.Policy.swept_bytes_bound
+      "ms.swept_bytes";
+    check "flow-bound-sweeps" sweeps b.Policy.sweeps_bound "ms.sweeps";
+    Diagnostic.sort !out
+
+(* ------------------------------------------------------------------ *)
+(* Corpus self-test                                                    *)
+
+let corpus_expectations =
+  [
+    ("double-free", []);
+    ("free-unallocated", []);
+    ("duplicate-alloc", []);
+    ("store-after-free", []);
+    ("store-unallocated", []);
+    ("dangling-target", []);
+    ("unclear-before-free", [ "flow-dangling" ]);
+    ("field-out-of-range", []);
+    ("uaf-chain", [ "flow-dangling" ]);
+    ("free-thread-out-of-range", []);
+  ]
+
+let corpus_self_test () =
+  List.map
+    (fun (c : Sanitizer.Corpus.case) ->
+      let r = analyze_trace c.Sanitizer.Corpus.trace in
+      let got =
+        List.sort_uniq compare
+          (List.map (fun d -> d.Diagnostic.rule) r.findings)
+      in
+      let expected =
+        Option.value ~default:[]
+          (List.assoc_opt c.Sanitizer.Corpus.name corpus_expectations)
+      in
+      (c.Sanitizer.Corpus.name, expected, got, got = expected))
+    Sanitizer.Corpus.cases

@@ -120,6 +120,7 @@ type report = {
   events : int;
   window_writes : int;
   diags : Diagnostic.t list;
+  stream : Event.t list;
 }
 
 let run ?(config = Minesweeper.Config.default) ?(config_name = "?")
@@ -217,4 +218,5 @@ let run ?(config = Minesweeper.Config.default) ?(config_name = "?")
     events = List.length evs;
     window_writes = s.window_writes;
     diags;
+    stream = evs;
   }

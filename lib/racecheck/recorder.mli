@@ -48,6 +48,9 @@ type report = {
   events : int;  (** recorded synchronization events *)
   window_writes : int;  (** mutator stores inside sweep windows *)
   diags : Sanitizer.Diagnostic.t list;
+  stream : Event.t list;
+      (** the recorded event stream itself, for downstream analyses
+          (e.g. static lockset passes) that want the raw schedule *)
 }
 
 val run :

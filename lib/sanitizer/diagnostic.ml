@@ -38,3 +38,14 @@ let count_by_rule ds =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let has_rule rule ds = List.exists (fun d -> d.rule = rule) ds
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare a.rule b.rule with
+      | 0 -> (
+        match compare a.op_index b.op_index with
+        | 0 -> compare a.message b.message
+        | c -> c)
+      | c -> c)
+    ds

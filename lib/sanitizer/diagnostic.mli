@@ -29,3 +29,10 @@ val count_by_rule : t list -> (string * int) list
 (** Rule ids with their occurrence counts, sorted by rule id. *)
 
 val has_rule : string -> t list -> bool
+
+val sort : t list -> t list
+(** Canonical report order: (rule, op index, message). Printing and
+    exports sort through this so reports are byte-stable across runs
+    and usable in cmp-based CI gates (the message embeds the address
+    when a finding carries one, so equal-rule, equal-op findings still
+    order deterministically). *)

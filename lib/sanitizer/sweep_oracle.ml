@@ -12,6 +12,8 @@ type report = {
   soundness : Diagnostic.t list;
   precision : Diagnostic.t list;
   audit : Diagnostic.t list;
+  unsound_ids : int list;
+  retained_ids : int list;
 }
 
 let findings r = r.soundness @ r.precision @ r.audit
@@ -19,7 +21,13 @@ let findings r = r.soundness @ r.precision @ r.audit
 (* One still-quarantined allocation under observation. *)
 type tracked = {
   id : int;
-  mutable clean_sweeps : int;  (** consecutive completed sweeps with no
+  eligible_from : int;
+      (** completed-sweep count after which a completion could have
+          locked this entry in: a sweep already in flight at free time
+          fixed its lock-in set earlier and never observed the entry,
+          so its completion is no retention evidence *)
+  mutable clean_sweeps : int;  (** consecutive completed sweeps that
+                                   locked the entry in and found no
                                    ground-truth pointer to it *)
   mutable reported : bool;
 }
@@ -45,6 +53,8 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
   let quarantined : (int, tracked) Hashtbl.t = Hashtbl.create 4096 in
   let soundness = ref [] in
   let precision = ref [] in
+  let unsound_ids = ref [] in
+  let retained_ids = ref [] in
   let allocs = ref 0 in
   let frees = ref 0 in
   let completed_sweeps () =
@@ -84,7 +94,8 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
       (fun (addr, (tr : tracked)) ->
         Hashtbl.remove quarantined addr;
         let n = Registry.in_pointer_count registry ~base:addr in
-        if n > 0 then
+        if n > 0 then begin
+          unsound_ids := tr.id :: !unsound_ids;
           soundness :=
             Diagnostic.make ~rule:"oracle-unsound" ~severity:Diagnostic.Error
               ~op_index
@@ -92,18 +103,21 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
                  "id %d (addr %#x) recycled while %d live pointer(s) to it \
                   exist"
                  tr.id addr n)
-            :: !soundness)
+            :: !soundness
+        end)
       released;
     let c = completed_sweeps () in
     if c > !last_completed then begin
-      let delta = c - !last_completed in
+      let prev = !last_completed in
       last_completed := c;
       Hashtbl.iter
         (fun addr (tr : tracked) ->
           if Registry.in_pointer_count registry ~base:addr = 0 then begin
-            tr.clean_sweeps <- tr.clean_sweeps + delta;
+            tr.clean_sweeps <-
+              tr.clean_sweeps + max 0 (c - max prev tr.eligible_from);
             if tr.clean_sweeps >= latency_sweeps && not tr.reported then begin
               tr.reported <- true;
+              retained_ids := tr.id :: !retained_ids;
               precision :=
                 Diagnostic.make ~rule:"oracle-retention"
                   ~severity:Diagnostic.Warning ~op_index
@@ -145,7 +159,14 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
           Instance.free ms addr;
           if Instance.is_quarantined ms addr then
             Hashtbl.replace quarantined addr
-              { id; clean_sweeps = 0; reported = false }
+              {
+                id;
+                eligible_from =
+                  completed_sweeps ()
+                  + (if Instance.sweep_in_progress ms then 1 else 0);
+                clean_sweeps = 0;
+                reported = false;
+              }
         | None -> ())
       | Trace.Store_ptr { loc; target } -> (
         match (resolve_loc loc, Hashtbl.find_opt addr_of target) with
@@ -188,4 +209,19 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
     soundness = List.rev !soundness;
     precision = List.rev !precision;
     audit = !audit_findings;
+    unsound_ids = List.sort_uniq compare !unsound_ids;
+    retained_ids = List.sort_uniq compare !retained_ids;
   }
+
+let certify_static ~predicted_unsound ~predicted_retained r =
+  let missing predicted ids = List.filter (fun id -> not (List.mem id predicted)) ids in
+  let diag kind id =
+    Diagnostic.make ~rule:"static-miss" ~severity:Diagnostic.Error
+      (Printf.sprintf
+         "dynamic %s finding for id %d was not predicted by the static \
+          analyzer (static false negative)"
+         kind id)
+  in
+  List.map (diag "oracle-unsound") (missing predicted_unsound r.unsound_ids)
+  @ List.map (diag "oracle-retention") (missing predicted_retained r.retained_ids)
+  |> Diagnostic.sort

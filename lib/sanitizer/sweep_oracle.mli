@@ -16,7 +16,10 @@
       conservative, so every real pointer is also a marked word.
     - {b precision/latency} ([oracle-retention], warning): an allocation
       stayed quarantined for [latency_sweeps] consecutive completed
-      sweeps although the registry records no pointer to it — memory
+      sweeps that locked it in although the registry records no pointer
+      to it (a sweep already in flight when the entry was freed fixed
+      its lock-in set earlier, never observed the entry, and is not
+      counted) — memory
       held hostage by unlucky integers or shadow-granule aliasing, the
       conservatism cost the paper accepts but a regression here should
       not grow silently.
@@ -34,6 +37,10 @@ type report = {
   soundness : Diagnostic.t list;
   precision : Diagnostic.t list;
   audit : Diagnostic.t list;
+  unsound_ids : int list;
+      (** trace ids behind [oracle-unsound] findings, sorted, deduped *)
+  retained_ids : int list;
+      (** trace ids behind [oracle-retention] findings, sorted, deduped *)
 }
 
 val run :
@@ -48,3 +55,16 @@ val run :
 
 val findings : report -> Diagnostic.t list
 (** All diagnostics of a report: soundness, then precision, then audit. *)
+
+val certify_static :
+  predicted_unsound:int list ->
+  predicted_retained:int list ->
+  report ->
+  Diagnostic.t list
+(** Cross-check a dynamic oracle report against a static analyzer's
+    predictions (plain id lists, so the static side need not live in
+    this library). The static analysis is only useful if it is a sound
+    over-approximation: every dynamic [oracle-unsound] id must appear in
+    [predicted_unsound] and every [oracle-retention] id in
+    [predicted_retained]. Each miss yields a [static-miss] error — an
+    empty result certifies zero static false negatives on this trace. *)

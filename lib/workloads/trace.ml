@@ -202,6 +202,56 @@ let to_string t =
 let parse_error line_no what =
   failwith (Printf.sprintf "Trace.of_string: line %d: %s" line_no what)
 
+(* One line of the text format. The one-shot parser and the chunked
+   stream share this so they can never disagree on the grammar. *)
+type parsed_line =
+  | L_op of op
+  | L_name of string
+  | L_threads of int
+  | L_nothing
+
+let parse_line ~line_no line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let int_at msg w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> parse_error line_no msg
+  in
+  match words with
+  | [] -> L_nothing
+  | "#" :: "msweep-trace" :: "v1" :: rest ->
+    if rest <> [] then L_name (String.concat " " rest) else L_nothing
+  | [ "#"; "threads"; n ] ->
+    let n = int_at "threads" n in
+    if n < 1 then parse_error line_no "threads must be >= 1";
+    L_threads n
+  | "#" :: _ -> L_nothing
+  | [ "a"; id; size ] ->
+    L_op (Alloc { id = int_at "id" id; size = int_at "size" size })
+  | [ "x"; id ] -> L_op (Free { id = int_at "id" id; thread = 0 })
+  | [ "x"; id; thread ] ->
+    L_op (Free { id = int_at "id" id; thread = int_at "thread" thread })
+  | [ "w"; cycles ] -> L_op (Work (int_at "cycles" cycles))
+  | [ kind; "r"; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
+    let loc = Root (int_at "word" w) in
+    let v = int_at "value" v in
+    L_op
+      (match kind with
+      | "p" -> Store_ptr { loc; target = v }
+      | "c" -> Clear_ptr { loc; target = v }
+      | _ -> Store_data { loc; value = v })
+  | [ kind; "f"; id; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
+    let loc = Field (int_at "id" id, int_at "word" w) in
+    let v = int_at "value" v in
+    L_op
+      (match kind with
+      | "p" -> Store_ptr { loc; target = v }
+      | "c" -> Clear_ptr { loc; target = v }
+      | _ -> Store_data { loc; value = v })
+  | _ -> parse_error line_no ("unrecognised op: " ^ line)
+
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let name = ref "trace" in
@@ -209,52 +259,149 @@ let of_string s =
   let ops = ref [] in
   List.iteri
     (fun idx line ->
-      let line_no = idx + 1 in
-      let words =
-        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
-      in
-      let int_at msg w =
-        match int_of_string_opt w with
-        | Some v -> v
-        | None -> parse_error line_no msg
-      in
-      match words with
-      | [] -> ()
-      | "#" :: "msweep-trace" :: "v1" :: rest ->
-        if rest <> [] then name := String.concat " " rest
-      | [ "#"; "threads"; n ] ->
-        let n = int_at "threads" n in
-        if n < 1 then parse_error line_no "threads must be >= 1";
-        threads := n
-      | "#" :: _ -> ()
-      | [ "a"; id; size ] ->
-        ops := Alloc { id = int_at "id" id; size = int_at "size" size } :: !ops
-      | [ "x"; id ] -> ops := Free { id = int_at "id" id; thread = 0 } :: !ops
-      | [ "x"; id; thread ] ->
-        ops :=
-          Free { id = int_at "id" id; thread = int_at "thread" thread } :: !ops
-      | [ "w"; cycles ] -> ops := Work (int_at "cycles" cycles) :: !ops
-      | [ kind; "r"; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
-        let loc = Root (int_at "word" w) in
-        let v = int_at "value" v in
-        ops :=
-          (match kind with
-          | "p" -> Store_ptr { loc; target = v }
-          | "c" -> Clear_ptr { loc; target = v }
-          | _ -> Store_data { loc; value = v })
-          :: !ops
-      | [ kind; "f"; id; w; v ] when kind = "p" || kind = "c" || kind = "d" ->
-        let loc = Field (int_at "id" id, int_at "word" w) in
-        let v = int_at "value" v in
-        ops :=
-          (match kind with
-          | "p" -> Store_ptr { loc; target = v }
-          | "c" -> Clear_ptr { loc; target = v }
-          | _ -> Store_data { loc; value = v })
-          :: !ops
-      | _ -> parse_error line_no ("unrecognised op: " ^ line))
+      match parse_line ~line_no:(idx + 1) line with
+      | L_op op -> ops := op :: !ops
+      | L_name n -> name := n
+      | L_threads n -> threads := n
+      | L_nothing -> ())
     lines;
   { name = !name; threads = !threads; ops = Array.of_list (List.rev !ops) }
+
+(* ------------------------------------------------------------------ *)
+(* Chunked streaming                                                   *)
+
+let default_chunk_ops = 4096
+
+type stream = {
+  s_name : string ref;
+  s_threads : int ref;
+  s_chunk : int;
+  s_pull : unit -> op option;
+  s_close : unit -> unit;
+  mutable s_peek : op option;
+  mutable s_consumed : bool;
+}
+
+(* Build a stream over a line producer. Leading header/comment lines are
+   consumed eagerly (one op of lookahead) so [stream_name] and
+   [stream_threads] are usable before the fold; header lines appearing
+   later in the file are still honoured as the fold passes them. *)
+let stream_of_lines ?(chunk_ops = default_chunk_ops) next_line close =
+  let name = ref "trace" in
+  let threads = ref 1 in
+  let line_no = ref 0 in
+  let rec pull () =
+    match next_line () with
+    | None -> None
+    | Some line -> (
+      incr line_no;
+      match parse_line ~line_no:!line_no line with
+      | L_op op -> Some op
+      | L_name n ->
+        name := n;
+        pull ()
+      | L_threads n ->
+        threads := n;
+        pull ()
+      | L_nothing -> pull ())
+  in
+  let peek = pull () in
+  {
+    s_name = name;
+    s_threads = threads;
+    s_chunk = max 1 chunk_ops;
+    s_pull = pull;
+    s_close = close;
+    s_peek = peek;
+    s_consumed = false;
+  }
+
+let stream_of_string ?chunk_ops s =
+  let len = String.length s in
+  let pos = ref 0 in
+  (* Mirrors [String.split_on_char '\n']: [n] newlines make [n + 1]
+     lines, so a trailing segment (possibly empty) still counts. *)
+  let next_line () =
+    if !pos > len then None
+    else begin
+      let start = !pos in
+      let stop =
+        match String.index_from_opt s start '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      pos := stop + 1;
+      Some (String.sub s start (stop - start))
+    end
+  in
+  stream_of_lines ?chunk_ops next_line (fun () -> ())
+
+let stream_of_file ?chunk_ops path =
+  let ic = open_in path in
+  let next_line () =
+    match input_line ic with
+    | line -> Some line
+    | exception End_of_file -> None
+  in
+  stream_of_lines ?chunk_ops next_line (fun () -> close_in_noerr ic)
+
+let stream_of_trace ?(chunk_ops = default_chunk_ops) t =
+  let i = ref 0 in
+  let pull () =
+    if !i >= Array.length t.ops then None
+    else begin
+      let op = t.ops.(!i) in
+      incr i;
+      Some op
+    end
+  in
+  {
+    s_name = ref t.name;
+    s_threads = ref t.threads;
+    s_chunk = max 1 chunk_ops;
+    s_pull = pull;
+    s_close = (fun () -> ());
+    s_peek = None;
+    s_consumed = false;
+  }
+
+let stream_name st = !(st.s_name)
+let stream_threads st = !(st.s_threads)
+
+let fold_stream st ~init ~f =
+  if st.s_consumed then
+    invalid_arg "Trace.fold_stream: stream already consumed";
+  st.s_consumed <- true;
+  Fun.protect ~finally:st.s_close (fun () ->
+      let buf = Array.make st.s_chunk (Work 0) in
+      let next () =
+        match st.s_peek with
+        | Some op ->
+          st.s_peek <- None;
+          Some op
+        | None -> st.s_pull ()
+      in
+      let rec refill n =
+        if n >= st.s_chunk then n
+        else
+          match next () with
+          | None -> n
+          | Some op ->
+            buf.(n) <- op;
+            refill (n + 1)
+      in
+      let acc = ref init in
+      let idx = ref 0 in
+      let rec loop () =
+        let n = refill 0 in
+        for i = 0 to n - 1 do
+          acc := f !acc !idx buf.(i);
+          incr idx
+        done;
+        if n = st.s_chunk then loop ()
+      in
+      loop ();
+      !acc)
 
 let to_file t path =
   let oc = open_out path in

@@ -63,3 +63,36 @@ val of_string : string -> t
 
 val to_file : t -> string -> unit
 val of_file : string -> t
+
+(** {1 Chunked streaming}
+
+    A one-pass, constant-memory view of a trace: ops are pulled through
+    a bounded chunk buffer ([chunk_ops], default 4096) instead of being
+    materialised as an array. [stream_of_file] reads the file line by
+    line, so folding a stream holds at most one chunk of ops plus the
+    consumer's own state — memory independent of trace length. The
+    chunked fold and {!of_string} share one line parser, so they agree
+    exactly (including parse errors and their line numbers). *)
+
+type stream
+
+val default_chunk_ops : int
+(** 4096. *)
+
+val stream_of_string : ?chunk_ops:int -> string -> stream
+val stream_of_file : ?chunk_ops:int -> string -> stream
+val stream_of_trace : ?chunk_ops:int -> t -> stream
+
+val stream_name : stream -> string
+(** Trace name. Header lines at the top of the input are consumed at
+    stream construction; a header buried below the first op is only
+    reflected once the fold has passed it. *)
+
+val stream_threads : stream -> int
+(** Declared mutator thread count (see {!stream_name} for timing). *)
+
+val fold_stream : stream -> init:'a -> f:('a -> int -> op -> 'a) -> 'a
+(** [fold_stream st ~init ~f] applies [f acc op_index op] over every op
+    in order. Single-shot: a stream can only be folded once.
+    @raise Failure on malformed input, with a line number.
+    @raise Invalid_argument if the stream was already consumed. *)

@@ -1,0 +1,344 @@
+(* Static dataflow analyzer (lib/flowcheck) tests: abstract-domain
+   behaviour on hand-written traces, and the two differential contracts
+   against the dynamic layers — bounds dominate the measured ms.*
+   telemetry, and every dynamic oracle finding is statically predicted. *)
+
+let analyze_text text =
+  Flowcheck.Report.analyze_trace (Workloads.Trace.of_string text)
+
+let rules (r : Flowcheck.Report.t) =
+  List.sort_uniq compare
+    (List.map
+       (fun d -> d.Sanitizer.Diagnostic.rule)
+       r.Flowcheck.Report.findings)
+
+let test_dangling_basic () =
+  let r =
+    analyze_text "# msweep-trace v1 t\na 0 64\np r 1 0\nx 0\n"
+  in
+  Alcotest.(check (list string)) "flow-dangling raised" [ "flow-dangling" ]
+    (rules r);
+  Alcotest.(check (list int)) "unsound-if-recycled predicted" [ 0 ]
+    r.Flowcheck.Report.predicted_unsound;
+  Alcotest.(check (list int)) "retention predicted" [ 0 ]
+    r.Flowcheck.Report.predicted_retained;
+  Alcotest.(check int) "window opened" 1 r.Flowcheck.Report.windows.opened;
+  Alcotest.(check int) "window still open" 1
+    r.Flowcheck.Report.windows.open_at_end;
+  match r.Flowcheck.Report.findings with
+  | [ d ] ->
+    Alcotest.(check int) "flagged at the free" 2 d.Sanitizer.Diagnostic.op_index
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length ds))
+
+let test_window_closes_on_overwrite () =
+  (* Overwriting the dangling slot with plain data ends the exposure
+     window; the graph edge dies with it. *)
+  let r =
+    analyze_text "# msweep-trace v1 t\na 0 64\np r 1 0\nx 0\nd r 1 5\n"
+  in
+  Alcotest.(check int) "window opened" 1 r.Flowcheck.Report.windows.opened;
+  Alcotest.(check int) "window closed" 1 r.Flowcheck.Report.windows.closed;
+  Alcotest.(check int) "none open at end" 0
+    r.Flowcheck.Report.windows.open_at_end;
+  Alcotest.(check int) "window length = overwrite - free" 1
+    r.Flowcheck.Report.windows.max_len
+
+let test_clear_semantics () =
+  (* Clearing before the free removes the edge: no exposure at all. *)
+  let r =
+    analyze_text "# msweep-trace v1 t\na 0 64\np r 1 0\nc r 1 0\nx 0\n"
+  in
+  Alcotest.(check (list string)) "clear before free: clean" [] (rules r);
+  Alcotest.(check int) "no window" 0 r.Flowcheck.Report.windows.opened;
+  (* Clearing after the free is skipped at replay (dead target), so the
+     pointer bytes physically persist: the window must stay open. *)
+  let r' =
+    analyze_text "# msweep-trace v1 t\na 0 64\np r 1 0\nx 0\nc r 1 0\n"
+  in
+  Alcotest.(check int) "dead-target clear closes nothing" 0
+    r'.Flowcheck.Report.windows.closed;
+  Alcotest.(check int) "window still open" 1
+    r'.Flowcheck.Report.windows.open_at_end
+
+let test_witness_chain () =
+  (* id 0 is held by a field of id 1, itself held by a root: the witness
+     names the whole chain. *)
+  let r =
+    analyze_text
+      "# msweep-trace v1 t\na 0 64\na 1 64\np f 1 0 0\np r 3 1\nx 0\n"
+  in
+  (match r.Flowcheck.Report.findings with
+  | [ d ] ->
+    let msg = d.Sanitizer.Diagnostic.message in
+    let contains needle =
+      let nl = String.length needle and ml = String.length msg in
+      let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "chain names the field slot" true
+      (contains "obj1[0]");
+    Alcotest.(check bool) "chain names the root holder" true
+      (contains "root[3]")
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length ds)));
+  Alcotest.(check (list int)) "only the freed id is unsound" [ 0 ]
+    r.Flowcheck.Report.predicted_unsound
+
+let test_alias_retention () =
+  (* A negative Store_data value encodes the address of an object as
+     data: not a pointer, but exactly what makes a conservative sweep
+     retain the free. *)
+  let r = analyze_text "# msweep-trace v1 t\na 0 64\nd r 2 -1\nx 0\n" in
+  Alcotest.(check (list string)) "flow-alias raised" [ "flow-alias" ] (rules r);
+  Alcotest.(check (list int)) "no unsoundness predicted" []
+    r.Flowcheck.Report.predicted_unsound;
+  Alcotest.(check (list int)) "retention predicted" [ 0 ]
+    r.Flowcheck.Report.predicted_retained
+
+let test_wild_store () =
+  let wild = 0x4000_0000 in
+  let r =
+    analyze_text
+      (Printf.sprintf "# msweep-trace v1 t\na 0 64\nd r 1 %d\nx 0\n" wild)
+  in
+  Alcotest.(check (list string)) "flow-wild raised" [ "flow-wild" ] (rules r);
+  Alcotest.(check int) "wild store counted" 1 r.Flowcheck.Report.wild_stores;
+  Alcotest.(check (list int)) "wild data forces retention prediction" [ 0 ]
+    r.Flowcheck.Report.predicted_retained
+
+let test_subgranule_free () =
+  (* A 4-byte request lands in the 8-byte class (extra byte included):
+     smaller than the 16-byte shadow granule, so a neighbour's bytes can
+     keep it marked. *)
+  let r = analyze_text "# msweep-trace v1 t\na 0 4\nx 0\n" in
+  Alcotest.(check int) "sub-granule free counted" 1
+    r.Flowcheck.Report.subgranule_frees;
+  Alcotest.(check (list int)) "retention predicted" [ 0 ]
+    r.Flowcheck.Report.predicted_retained;
+  (* 16-byte-class frees are granule-aligned: no such prediction. *)
+  let r16 = analyze_text "# msweep-trace v1 t\na 0 15\nx 0\n" in
+  Alcotest.(check int) "16B class is not sub-granule" 0
+    r16.Flowcheck.Report.subgranule_frees
+
+let test_bounds_math () =
+  let r = analyze_text "# msweep-trace v1 t\na 0 100\na 1 200\nx 0\nx 1\n" in
+  let b =
+    List.find
+      (fun (b : Flowcheck.Policy.bounds) ->
+        b.Flowcheck.Policy.policy = "minesweeper")
+      r.Flowcheck.Report.bounds
+  in
+  let ms = List.hd Flowcheck.Policy.default_policies in
+  let u s = Flowcheck.Policy.usable ms s in
+  Alcotest.(check int) "peak live = both usable sizes" (u 100 + u 200)
+    b.Flowcheck.Policy.peak_live_bytes;
+  Alcotest.(check int) "occupancy bound = total freed usable"
+    (u 100 + u 200) b.Flowcheck.Policy.occupancy_bound;
+  Alcotest.(check int) "max entry" (u 200) b.Flowcheck.Policy.max_entry_bytes;
+  Alcotest.(check bool) "modeled <= sound bound" true
+    (b.Flowcheck.Policy.modeled_occupancy <= b.Flowcheck.Policy.occupancy_bound);
+  let ff =
+    List.find
+      (fun (b : Flowcheck.Policy.bounds) ->
+        b.Flowcheck.Policy.policy = "ffmalloc")
+      r.Flowcheck.Report.bounds
+  in
+  Alcotest.(check bool) "ffmalloc never reuses" true
+    ff.Flowcheck.Policy.never_reuse;
+  Alcotest.(check int) "ffmalloc sweeps nothing" 0
+    ff.Flowcheck.Policy.sweeps_bound
+
+let test_json_deterministic_and_chunk_independent () =
+  let profile =
+    Workloads.Profile.scale_ops 0.05 (Workloads.Mimalloc_bench.find "espresso")
+  in
+  let trace = Workloads.Trace.generate profile in
+  let text = Workloads.Trace.to_string trace in
+  let j1 = Flowcheck.Report.to_json (Flowcheck.Report.analyze_trace trace) in
+  let j2 = Flowcheck.Report.to_json (Flowcheck.Report.analyze_trace trace) in
+  Alcotest.(check string) "byte-identical across runs" j1 j2;
+  List.iter
+    (fun chunk_ops ->
+      let st = Workloads.Trace.stream_of_string ~chunk_ops text in
+      let j = Flowcheck.Report.to_json (Flowcheck.Report.analyze st) in
+      Alcotest.(check string)
+        (Printf.sprintf "chunk size %d changes nothing" chunk_ops)
+        j1 j)
+    [ 1; 7; 4096 ]
+
+(* The zero-false-negative contract, on both seeded workloads, under the
+   default and incremental configurations, at retention latency 1 (the
+   most eager dynamic reporter) and 3. *)
+let test_certify_static () =
+  let workloads =
+    [
+      ( "espresso",
+        Workloads.Profile.scale_ops 0.05
+          (Workloads.Mimalloc_bench.find "espresso") );
+      ( "perlbench",
+        Workloads.Profile.scale_ops 0.05
+          (List.find
+             (fun p -> p.Workloads.Profile.name = "perlbench")
+             Workloads.Spec2006.all) );
+    ]
+  in
+  List.iter
+    (fun (wname, profile) ->
+      let trace = Workloads.Trace.generate profile in
+      List.iter
+        (fun (cname, config) ->
+          let sr =
+            Flowcheck.Report.analyze_trace
+              ~policies:[ Flowcheck.Policy.Minesweeper config ]
+              trace
+          in
+          List.iter
+            (fun latency_sweeps ->
+              let orc =
+                Sanitizer.Sweep_oracle.run ~config ~latency_sweeps
+                  ~audit:false trace
+              in
+              let misses =
+                Sanitizer.Sweep_oracle.certify_static
+                  ~predicted_unsound:sr.Flowcheck.Report.predicted_unsound
+                  ~predicted_retained:sr.Flowcheck.Report.predicted_retained
+                  orc
+              in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s/%s latency %d: no static misses" wname
+                   cname latency_sweeps)
+                []
+                (List.map Sanitizer.Diagnostic.to_string misses))
+            [ 1; 3 ])
+        [
+          ("default", Minesweeper.Config.default);
+          ("incremental", Minesweeper.Config.incremental);
+        ])
+    workloads
+
+let test_bounds_dominate_replay () =
+  let profile =
+    Workloads.Profile.scale_ops 0.05 (Workloads.Mimalloc_bench.find "espresso")
+  in
+  let trace = Workloads.Trace.generate profile in
+  let sr = Flowcheck.Report.analyze_trace trace in
+  let machine = Alloc.Machine.create () in
+  List.iter
+    (fun (base, size) ->
+      Vmem.map machine.Alloc.Machine.mem ~addr:base ~len:size)
+    Layout.root_regions;
+  let stack =
+    Workloads.Harness.build
+      (Workloads.Harness.Mine_sweeper Minesweeper.Config.default)
+      ~threads:1 machine
+  in
+  ignore (Workloads.Trace.replay trace stack);
+  let reg = Option.get stack.Workloads.Harness.obs in
+  let read name = Option.value ~default:0 (Obs.Registry.read reg name) in
+  let diags =
+    Flowcheck.Report.check_bounds sr ~policy:"minesweeper"
+      ~peak_quarantine_bytes:(read "ms.peak_quarantine_bytes")
+      ~swept_bytes:(read "ms.swept_bytes")
+      ~sweeps:(read "ms.sweeps")
+  in
+  Alcotest.(check (list string)) "static bounds dominate the replay" []
+    (List.map Sanitizer.Diagnostic.to_string diags);
+  (* The detector itself must fire when a bound is genuinely exceeded. *)
+  let forced =
+    Flowcheck.Report.check_bounds sr ~policy:"minesweeper"
+      ~peak_quarantine_bytes:max_int ~swept_bytes:0 ~sweeps:0
+  in
+  Alcotest.(check (list string)) "exceeded occupancy is flagged"
+    [ "flow-bound-occupancy" ]
+    (List.map (fun d -> d.Sanitizer.Diagnostic.rule) forced);
+  Alcotest.(check (list string)) "unknown policy is flagged"
+    [ "flow-bound-missing" ]
+    (List.map
+       (fun d -> d.Sanitizer.Diagnostic.rule)
+       (Flowcheck.Report.check_bounds sr ~policy:"nonesuch"
+          ~peak_quarantine_bytes:0 ~swept_bytes:0 ~sweeps:0))
+
+let test_lockset_self_test () =
+  List.iter
+    (fun (r : Flowcheck.Lockset.mutant_result) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s raises exactly %s" r.Flowcheck.Lockset.name
+           (String.concat "," r.Flowcheck.Lockset.expected))
+        r.Flowcheck.Lockset.expected r.Flowcheck.Lockset.got;
+      Alcotest.(check bool) (r.Flowcheck.Lockset.name ^ " passes") true
+        r.Flowcheck.Lockset.passed)
+    (Flowcheck.Lockset.self_test ())
+
+let test_lockset_clean_on_recorded_stream () =
+  (* A real recorded replay follows the protocol: the static lockset
+     pass must come back clean on its event stream. *)
+  let profile =
+    Workloads.Profile.scale_ops 0.05 (Workloads.Mimalloc_bench.find "espresso")
+  in
+  let trace = Workloads.Trace.generate profile in
+  List.iter
+    (fun (cname, config) ->
+      let r = Racecheck.Recorder.run ~config ~config_name:cname trace in
+      Alcotest.(check bool)
+        (cname ^ ": events recorded") true
+        (r.Racecheck.Recorder.stream <> []);
+      Alcotest.(check (list string))
+        (cname ^ ": lockset clean") []
+        (List.map Sanitizer.Diagnostic.to_string
+           (Flowcheck.Lockset.analyze r.Racecheck.Recorder.stream)))
+    [
+      ("default", Minesweeper.Config.default);
+      ("mostly", Minesweeper.Config.mostly_concurrent);
+    ]
+
+let test_corpus_self_test () =
+  List.iter
+    (fun (name, expected, got, passed) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s raises exactly [%s]" name
+           (String.concat "; " expected))
+        expected got;
+      Alcotest.(check bool) (name ^ " passes") true passed)
+    (Flowcheck.Report.corpus_self_test ())
+
+let test_diagnostic_sort () =
+  let mk rule op msg =
+    Sanitizer.Diagnostic.make ~rule ~severity:Sanitizer.Diagnostic.Warning
+      ~op_index:op msg
+  in
+  let shuffled =
+    [ mk "b" 1 "x"; mk "a" 9 "z"; mk "a" 2 "b"; mk "a" 2 "a"; mk "b" 0 "y" ]
+  in
+  let sorted = Sanitizer.Diagnostic.sort shuffled in
+  Alcotest.(check (list string)) "(rule, op, message) order"
+    [ "a/2/a"; "a/2/b"; "a/9/z"; "b/0/y"; "b/1/x" ]
+    (List.map
+       (fun (d : Sanitizer.Diagnostic.t) ->
+         Printf.sprintf "%s/%d/%s" d.Sanitizer.Diagnostic.rule
+           d.Sanitizer.Diagnostic.op_index d.Sanitizer.Diagnostic.message)
+       sorted)
+
+let suite =
+  ( "flowcheck",
+    [
+      Alcotest.test_case "dangling basic" `Quick test_dangling_basic;
+      Alcotest.test_case "window closes on overwrite" `Quick
+        test_window_closes_on_overwrite;
+      Alcotest.test_case "clear semantics" `Quick test_clear_semantics;
+      Alcotest.test_case "witness chain" `Quick test_witness_chain;
+      Alcotest.test_case "alias retention" `Quick test_alias_retention;
+      Alcotest.test_case "wild store" `Quick test_wild_store;
+      Alcotest.test_case "sub-granule free" `Quick test_subgranule_free;
+      Alcotest.test_case "bounds math" `Quick test_bounds_math;
+      Alcotest.test_case "json deterministic, chunk-independent" `Quick
+        test_json_deterministic_and_chunk_independent;
+      Alcotest.test_case "certify static: zero false negatives" `Slow
+        test_certify_static;
+      Alcotest.test_case "bounds dominate a real replay" `Quick
+        test_bounds_dominate_replay;
+      Alcotest.test_case "lockset mutant self-test" `Quick
+        test_lockset_self_test;
+      Alcotest.test_case "lockset clean on recorded streams" `Quick
+        test_lockset_clean_on_recorded_stream;
+      Alcotest.test_case "corpus self-test" `Quick test_corpus_self_test;
+      Alcotest.test_case "diagnostic sort order" `Quick test_diagnostic_sort;
+    ] )

@@ -33,4 +33,5 @@ let () =
       Test_attack.suite;
       Test_report.suite;
       Test_experiments.suite;
+      Test_flowcheck.suite;
     ]

@@ -193,6 +193,80 @@ let test_replay_protection () =
   Alcotest.(check bool) "victim quarantined" true
     (stack.Workloads.Harness.is_protected_addr victim)
 
+let test_threads_zero_header () =
+  (* A declared mutator count below 1 is meaningless: both parsers must
+     reject it with the offending line number (they share one grammar). *)
+  Alcotest.check_raises "zero threads"
+    (Failure "Trace.of_string: line 2: threads must be >= 1") (fun () ->
+      ignore
+        (Workloads.Trace.of_string
+           "# msweep-trace v1 bad\n# threads 0\na 0 64\n"));
+  Alcotest.check_raises "negative threads"
+    (Failure "Trace.of_string: line 1: threads must be >= 1") (fun () ->
+      ignore (Workloads.Trace.of_string "# threads -3\n"));
+  Alcotest.check_raises "zero threads via stream"
+    (Failure "Trace.of_string: line 2: threads must be >= 1") (fun () ->
+      let st =
+        Workloads.Trace.stream_of_string
+          "# msweep-trace v1 bad\n# threads 0\na 0 64\n"
+      in
+      ignore (Workloads.Trace.fold_stream st ~init:0 ~f:(fun acc _ _ -> acc)))
+
+let test_single_thread_free_column () =
+  (* An explicit free-thread column parses even without a threads
+     header; serialisation keeps the compact form whenever the column
+     carries no information (mutator 0). *)
+  let t = Workloads.Trace.of_string "# msweep-trace v1 one\na 0 64\nx 0 0\n" in
+  Alcotest.(check int) "threads stays 1" 1 t.Workloads.Trace.threads;
+  (match t.Workloads.Trace.ops.(1) with
+  | Workloads.Trace.Free { id; thread } ->
+    Alcotest.(check int) "free id" 0 id;
+    Alcotest.(check int) "explicit thread 0" 0 thread
+  | _ -> Alcotest.fail "op 1 should be a free");
+  let text = Workloads.Trace.to_string t in
+  Alcotest.(check bool) "compact form: no column for mutator 0" true
+    (List.mem "x 0" (String.split_on_char '\n' text));
+  Alcotest.(check string) "serialisation is a parse fixpoint" text
+    (Workloads.Trace.to_string (Workloads.Trace.of_string text))
+
+(* The streaming fold and the one-shot parser share one line parser;
+   this property pins the stronger claim that chunking cannot change
+   what a consumer observes: any chunk size, any generator profile. *)
+let prop_chunked_fold_equals_parse =
+  QCheck.Test.make ~name:"chunked fold == full parse (any chunk size)"
+    ~count:40
+    QCheck.(pair (int_range 1 257) (int_range 0 1_000_000))
+    (fun (chunk_ops, seed) ->
+      let profile =
+        Workloads.Profile.make ~name:"prop" ~suite:"test" ~ops:400
+          ~size:(Sim.Dist.uniform ~lo:8 ~hi:256)
+          ~lifetime:(Sim.Dist.exponential ~mean:60.)
+          ~work_per_op:10 ()
+      in
+      let t = Workloads.Trace.generate ~seed profile in
+      let text = Workloads.Trace.to_string t in
+      let st = Workloads.Trace.stream_of_string ~chunk_ops text in
+      let streamed =
+        List.rev
+          (Workloads.Trace.fold_stream st ~init:[] ~f:(fun acc idx op ->
+               (idx, op) :: acc))
+      in
+      let parsed = Workloads.Trace.of_string text in
+      let expected =
+        Array.to_list (Array.mapi (fun i op -> (i, op)) parsed.Workloads.Trace.ops)
+      in
+      Workloads.Trace.stream_name st = parsed.Workloads.Trace.name
+      && Workloads.Trace.stream_threads st = parsed.Workloads.Trace.threads
+      && streamed = expected)
+
+let test_stream_single_shot () =
+  let st = Workloads.Trace.stream_of_string "a 0 64\nx 0\n" in
+  ignore (Workloads.Trace.fold_stream st ~init:() ~f:(fun () _ _ -> ()));
+  Alcotest.check_raises "second fold rejected"
+    (Invalid_argument "Trace.fold_stream: stream already consumed")
+    (fun () ->
+      ignore (Workloads.Trace.fold_stream st ~init:() ~f:(fun () _ _ -> ())))
+
 let suite =
   ( "workloads.trace",
     [
@@ -211,4 +285,11 @@ let suite =
       Alcotest.test_case "replay all schemes" `Quick test_replay_all_schemes;
       Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
       Alcotest.test_case "replay protection" `Quick test_replay_protection;
+      Alcotest.test_case "threads-0 header rejected" `Quick
+        test_threads_zero_header;
+      Alcotest.test_case "free-thread column, single-threaded" `Quick
+        test_single_thread_free_column;
+      QCheck_alcotest.to_alcotest prop_chunked_fold_equals_parse;
+      Alcotest.test_case "stream is single-shot" `Quick
+        test_stream_single_shot;
     ] )
