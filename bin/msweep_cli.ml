@@ -5,6 +5,10 @@
      run -b BENCH -s SCHEME    run one benchmark under one scheme
      bench -b BENCH --metrics-out F
                                run and export the metrics registry (JSONL)
+     serve -p PROFILE -s SCHEME [--repeat N] [--attack]
+                               server-traffic family under open-loop load:
+                               p50/p99/p999 total and stall-induced latency,
+                               optional vtable hijack under live traffic
      trace -b BENCH [-o F]     run and dump the structured span ring
      compare -b BENCH          run all schemes and print overheads
      figures [--only IDS]      regenerate paper figures (see bench/)
@@ -359,6 +363,159 @@ let attack_cmd =
     Fmt.pr "  reuse after clear  %b@." (Attack.reuse_after_clear (fresh ()))
   in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const f $ scheme_arg)
+
+let print_server_result (r : Workloads.Server.result) =
+  let q name (v : Workloads.Server.quantiles) =
+    Fmt.pr "%-14s p50 %.0f  p99 %.0f  p999 %.0f cycles@." name v.p50 v.p99
+      v.p999
+  in
+  Fmt.pr "profile        %s@." r.profile;
+  Fmt.pr "scheme         %s@." r.scheme;
+  Fmt.pr "requests       %d offered, %d served%s@." r.requests r.completed
+    (if r.oom_killed then " (OOM-killed)" else "");
+  Fmt.pr "wall           %d cycles@." r.wall;
+  Fmt.pr "app busy       %d cycles@." r.app_busy;
+  Fmt.pr "stalled        %d cycles@." r.stalled;
+  q "latency" r.latency;
+  q "stall latency" r.stall_latency;
+  q "queue wait" r.queue_wait;
+  q "service" r.service;
+  Fmt.pr "max queue      %d@." r.max_queue_depth;
+  Fmt.pr "peak rss       %.2f MiB@." (mb r.peak_rss);
+  Fmt.pr "sweeps         %d@." r.sweeps;
+  Fmt.pr "failed frees   %d@." r.failed_frees;
+  Fmt.pr "leaked         %d objects, %d dangling roots left@." r.leaked
+    r.dangling_left
+
+let serve_cmd =
+  let doc =
+    "Run a server-traffic profile under the open-loop load generator and \
+     report per-request tail latency (p50/p99/p999 total and stall-induced). \
+     The offered arrival timeline is a pure function of (profile, seed): the \
+     generator never observes the service side, so allocator stalls surface \
+     as queueing delay instead of slowing the load down. Exports are \
+     deterministic (simulated clock), so identical runs produce \
+     byte-identical files."
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string "steady"
+      & info [ "p"; "profile" ]
+          ~doc:"Server profile: steady, bursty, diurnal, spike, slow-leak")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ]
+          ~doc:
+            "Run N statistically independent repeats. Repeat 0 keeps the \
+             profile's seed; repeat i derives its stream with \
+             Rng.split_seed from the top-level seed, so replicas are \
+             uncorrelated (correlated replicas bias median-of-N tail \
+             estimates) yet the whole family stays deterministic. Reports \
+             per-repeat and median-of-N quantiles.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:"Write the metrics snapshot (srv.* alongside ms.*) here")
+  in
+  let spans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~doc:"Also write the span ring (JSONL) here")
+  in
+  let attack_arg =
+    Arg.(
+      value & flag
+      & info [ "attack" ]
+          ~doc:
+            "Mount the Figure-2 vtable hijack against the live server: \
+             plant a dangling virtual-call site mid-traffic, spray \
+             attacker payloads between requests and report the outcome \
+             alongside the traffic's tail latency")
+  in
+  let f profile_name scheme_name scale repeat metrics_out spans_out attack =
+    let profile =
+      match Workloads.Server.find profile_name with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          (Fmt.str "unknown profile %s (expected one of: %s)" profile_name
+             (String.concat ", " Workloads.Server.names))
+    in
+    let profile =
+      if scale = 1.0 then profile else Workloads.Server.scale scale profile
+    in
+    let scheme = scheme_of_string scheme_name in
+    if attack then begin
+      let machine = Alloc.Machine.create () in
+      let stack = Workloads.Harness.build scheme ~threads:1 machine in
+      let outcome, result = Attack.hijack_under_traffic ~profile stack in
+      print_server_result result;
+      Fmt.pr "attack         %s@." (Attack.describe outcome)
+    end
+    else begin
+      let captured = ref None in
+      let result =
+        Workloads.Server.run
+          ~on_build:(fun stack -> captured := Some stack)
+          profile scheme
+      in
+      print_server_result result;
+      let repeat = max 1 repeat in
+      if repeat > 1 then begin
+        let rs = Workloads.Server.run_repeats ~repeats:repeat profile scheme in
+        List.iteri
+          (fun i (r : Workloads.Server.result) ->
+            Fmt.pr
+              "repeat %-2d      lat p50/p99/p999 %.0f/%.0f/%.0f  stall \
+               %.0f/%.0f/%.0f@."
+              i r.latency.p50 r.latency.p99 r.latency.p999
+              r.stall_latency.p50 r.stall_latency.p99 r.stall_latency.p999)
+          rs;
+        let med f = Workloads.Server.median (List.map f rs) in
+        Fmt.pr
+          "median of %-2d   lat p50 %.0f  p99 %.0f  p999 %.0f  stall p999 \
+           %.0f@."
+          repeat
+          (med (fun (r : Workloads.Server.result) -> r.latency.p50))
+          (med (fun (r : Workloads.Server.result) -> r.latency.p99))
+          (med (fun (r : Workloads.Server.result) -> r.latency.p999))
+          (med (fun (r : Workloads.Server.result) -> r.stall_latency.p999))
+      end;
+      let stack =
+        match !captured with Some s -> s | None -> assert false
+      in
+      (match (metrics_out, stack.Workloads.Harness.obs) with
+      | Some file, Some reg ->
+        Obs.Export.write_file file (Obs.Export.metrics_to_string reg);
+        Fmt.pr "metrics        %s (%d metrics)@." file
+          (List.length (Obs.Registry.names reg))
+      | Some _, None ->
+        Fmt.epr "scheme %s keeps no metrics registry@."
+          stack.Workloads.Harness.scheme;
+        exit 1
+      | None, _ -> ());
+      match (spans_out, stack.Workloads.Harness.trace) with
+      | Some file, Some ring ->
+        Obs.Export.write_file file (Obs.Export.spans_to_string ring);
+        Fmt.pr "spans          %s (%d retained)@." file
+          (Obs.Trace_ring.retained ring)
+      | Some _, None ->
+        Fmt.epr "scheme %s keeps no trace ring@."
+          stack.Workloads.Harness.scheme;
+        exit 1
+      | None, _ -> ()
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const f $ profile_arg $ scheme_arg $ scale_arg $ repeat_arg
+      $ metrics_arg $ spans_arg $ attack_arg)
 
 let trace_gen_cmd =
   let doc = "Generate a portable trace file from a benchmark profile" in
@@ -776,7 +933,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; bench_cmd; trace_cmd; compare_cmd;
+            list_cmd; run_cmd; bench_cmd; serve_cmd; trace_cmd; compare_cmd;
             figures_cmd; attack_cmd; trace_gen_cmd; trace_replay_cmd;
             check_cmd; analyze_cmd; explore_cmd;
           ]))

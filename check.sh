@@ -274,4 +274,67 @@ grep -q '"phase":"mark"' "$workdir/s1.jsonl" \
   || { echo "FAIL: no mark-phase spans in a sweeping profile" >&2; exit 1; }
 echo "span export carries the sweep-phase profile"
 
+echo "== server traffic: open-loop determinism, srv.* export, repeats"
+# Two identical serve runs must export byte-identical metrics: the whole
+# pipeline (arrival generation, Lindley decomposition, histogram fills)
+# runs off the simulated clock and the profile seed.
+"$CLI" serve -p steady -s minesweeper --scale 0.02 \
+  --metrics-out "$workdir/srv1.jsonl" >"$workdir/srv1.txt"
+"$CLI" serve -p steady -s minesweeper --scale 0.02 \
+  --metrics-out "$workdir/srv2.jsonl" >/dev/null
+cmp "$workdir/srv1.jsonl" "$workdir/srv2.jsonl" \
+  || { echo "FAIL: server metric exports differ across identical runs" >&2; exit 1; }
+# srv.* and ms.* must share one export (the server registers its metrics
+# into the stack's own registry).
+for name in srv.latency srv.stall_latency srv.queue_wait srv.service \
+    srv.requests srv.completed srv.queue_depth_max; do
+  grep -q "\"metric\":\"$name\"" "$workdir/srv1.jsonl" \
+    || { echo "FAIL: $name absent from the serve export" >&2; exit 1; }
+done
+grep -q '"metric":"ms\.sweeps"' "$workdir/srv1.jsonl" \
+  || { echo "FAIL: ms.* telemetry missing from the serve export" >&2; exit 1; }
+# --repeat derives independent streams per repeat (split seeds) and
+# reports a median-of-N row.
+"$CLI" serve -p steady -s baseline --scale 0.02 --repeat 3 \
+  >"$workdir/srv-repeat.txt" \
+  || { echo "FAIL: serve --repeat exited nonzero" >&2; exit 1; }
+grep -q "median of 3" "$workdir/srv-repeat.txt" \
+  || { echo "FAIL: serve --repeat 3 did not report a median" >&2; exit 1; }
+r0=$(grep "^repeat 0" "$workdir/srv-repeat.txt")
+r1=$(grep "^repeat 1" "$workdir/srv-repeat.txt")
+[ "${r0#repeat 0}" != "${r1#repeat 1}" ] \
+  || { echo "FAIL: repeat 1 replayed repeat 0's stream (split seed lost)" >&2; exit 1; }
+echo "serve: byte-identical exports, srv.* beside ms.*, independent repeats"
+
+echo "== attack under live traffic"
+# The vtable hijack mounted mid-traffic: the baseline must be exploited,
+# MineSweeper must not — while both keep serving the offered load.
+"$CLI" serve -p steady -s baseline --scale 0.05 --attack \
+  >"$workdir/atk-base.txt" \
+  || { echo "FAIL: serve --attack (baseline) exited nonzero" >&2; exit 1; }
+grep -q "EXPLOITED" "$workdir/atk-base.txt" \
+  || { echo "FAIL: baseline not exploited under live traffic" >&2; exit 1; }
+"$CLI" serve -p steady -s minesweeper --scale 0.05 --attack \
+  >"$workdir/atk-ms.txt" \
+  || { echo "FAIL: serve --attack (minesweeper) exited nonzero" >&2; exit 1; }
+grep -q "EXPLOITED" "$workdir/atk-ms.txt" \
+  && { echo "FAIL: minesweeper exploited under live traffic" >&2; exit 1; }
+echo "baseline exploited, minesweeper clean, traffic served throughout"
+
+echo "== bench smoke: tail-latency figure"
+# All five server profiles x all backends: quantile families monotone,
+# stall latency below total latency, arrivals identical across backends
+# (the open-loop property), attack outcomes as expected — and the whole
+# figure byte-identical across runs.
+"$CLI" figures --only tail-latency --scale 0.02 >"$workdir/tail1.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/tail1.txt"; then
+  grep "REGRESSION" "$workdir/tail1.txt" >&2
+  echo "FAIL: tail-latency figure reported a regression" >&2
+  exit 1
+fi
+"$CLI" figures --only tail-latency --scale 0.02 >"$workdir/tail2.txt" 2>/dev/null
+cmp "$workdir/tail1.txt" "$workdir/tail2.txt" \
+  || { echo "FAIL: tail-latency figure differs across identical runs" >&2; exit 1; }
+echo "tail-latency figure deterministic, monotone, open-loop, attack-clean"
+
 echo "== all checks passed"

@@ -88,6 +88,68 @@ let describe_unlink = function
   | Prevented_fault -> "PREVENTED: forged link write faulted (clean termination)"
   | Benign -> "PREVENTED: free-list insertion deferred; forged links destroyed"
 
+(* The Figure 2 attack mounted against a live server instead of an idle
+   stack. The server handles open-loop traffic (Workloads.Server); a
+   quarter of the way in, a buggy handler frees the victim but leaves the
+   dangling global; the attacker then sprays same-sized allocations
+   interleaved with legitimate requests. After every burst the "program"
+   performs its dangling virtual call — the attacker wins if ANY of those
+   calls dispatches through attacker data (under real traffic the victim
+   address churns: legitimate handlers may reuse and benignly overwrite
+   it, so only the eager check is faithful). The first faulting call
+   terminates the program cleanly. *)
+let hijack_under_traffic ?(spray = 1024) ?(double_free = false) ~profile
+    (stack : Workloads.Harness.t) =
+  let session = Workloads.Server.start profile stack in
+  let mem = mem stack in
+  let total = Workloads.Server.total_requests session in
+  let warmup = total / 4 in
+  let live = ref true in
+  while !live && Workloads.Server.served session < warmup do
+    live := Workloads.Server.step session
+  done;
+  (* The buggy handler: allocate, publish, free, keep the pointer. *)
+  let victim = stack.malloc victim_size in
+  Vmem.store mem victim legit_vtable;
+  Vmem.store mem dangling_slot victim;
+  stack.on_pointer_write ~slot:dangling_slot ~old_value:0 ~value:victim;
+  stack.free ~thread:0 victim;
+  if double_free && stack.tolerates_double_free then stack.free ~thread:0 victim;
+  let outcome = ref Benign and decided = ref false in
+  let dangling_call () =
+    if not !decided then
+      match Vmem.load mem dangling_slot with
+      | 0 ->
+        outcome := Prevented_fault;
+        decided := true
+      | x -> (
+        match read_vtable stack x with
+        | Exploited ->
+          outcome := Exploited;
+          decided := true
+        | Prevented_fault ->
+          outcome := Prevented_fault;
+          decided := true
+        | Benign -> ())
+  in
+  let sprayed = ref 0 in
+  while !live && !sprayed < spray do
+    live := Workloads.Server.step session;
+    let burst = min 4 (spray - !sprayed) in
+    for _ = 1 to burst do
+      let a = stack.malloc victim_size in
+      Vmem.store mem a malicious_vtable
+    done;
+    sprayed := !sprayed + burst;
+    dangling_call ()
+  done;
+  (* Background traffic continues after the attack window. *)
+  while Workloads.Server.step session do
+    ()
+  done;
+  dangling_call ();
+  (!outcome, Workloads.Server.finish session)
+
 let reuse_after_clear ?(churn = 200_000) (stack : Workloads.Harness.t) =
   let victim = stack.malloc victim_size in
   Vmem.store (mem stack) victim legit_vtable;

@@ -50,6 +50,24 @@ val unlink_corruption : Workloads.Harness.t -> outcome
 val describe_unlink : outcome -> string
 (** Outcome text specific to {!unlink_corruption}. *)
 
+val hijack_under_traffic :
+  ?spray:int ->
+  ?double_free:bool ->
+  profile:Workloads.Server.profile ->
+  Workloads.Harness.t ->
+  outcome * Workloads.Server.result
+(** The Figure 2 attack mounted against a {e live server}: open-loop
+    traffic flows (a {!Workloads.Server} session over the given stack);
+    after a warm-up quarter the program frees the victim but keeps the
+    dangling global; the attacker sprays [spray] same-sized allocations
+    (default 1024) interleaved with legitimate requests, and the program
+    periodically calls through the dangling pointer. [Exploited] if any
+    such call dispatches through attacker data; [Prevented_fault] on the
+    first faulting/nullified call; [Benign] when every call saw stale,
+    zeroed or legitimately-reused data. Also returns the traffic result,
+    so detection can be correlated with tail latency. The stack must be
+    freshly built (the session registers its [srv.*] metrics). *)
+
 val reuse_after_clear : ?churn:int -> Workloads.Harness.t -> bool
 (** The healthy-program counterpart: free an object, later overwrite the
     last pointer to it, keep allocating. Returns [true] once the victim's

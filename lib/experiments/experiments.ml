@@ -2,10 +2,11 @@ type env = {
   scale : float;
   verbose : bool;
   cache : (string, Workloads.Driver.result) Hashtbl.t;
+  srv_cache : (string, Workloads.Server.result) Hashtbl.t;
 }
 
 let make_env ?(scale = 1.0) ?(verbose = false) () =
-  { scale; verbose; cache = Hashtbl.create 256 }
+  { scale; verbose; cache = Hashtbl.create 256; srv_cache = Hashtbl.create 64 }
 
 let scheme_keys =
   [
@@ -1049,6 +1050,130 @@ let static_bounds env =
        ms.* telemetry of a real replay and the differential oracle\n"
     ^ verdict)
 
+(* ------------------------------------------------------------------ *)
+(* Tail latency: the server-traffic family under an open-loop load     *)
+(* generator — p50/p99/p999 total and stall-induced latency per        *)
+(* backend, plus the vtable-hijack attack mounted under live traffic.  *)
+
+let serve_backends =
+  [ "baseline"; "minesweeper"; "minesweeper-mostly"; "markus"; "ffmalloc" ]
+
+let run_server env ~(profile : Workloads.Server.profile) ~key =
+  let cache_key = Printf.sprintf "serve/%s/%s" profile.Workloads.Server.name key in
+  match Hashtbl.find_opt env.srv_cache cache_key with
+  | Some r -> r
+  | None ->
+    if env.verbose then Printf.eprintf "  [serve] %s\n%!" cache_key;
+    let r =
+      Workloads.Server.run ~scale:env.scale profile (scheme_of_key key)
+    in
+    Hashtbl.replace env.srv_cache cache_key r;
+    r
+
+let tail_latency env =
+  let table =
+    Report.Table.create
+      ~columns:
+        [
+          "profile/scheme"; "lat p50"; "lat p99"; "lat p999"; "stall p50";
+          "stall p99"; "stall p999"; "max queue"; "served %";
+        ]
+  in
+  let regressions = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  List.iter
+    (fun (profile : Workloads.Server.profile) ->
+      let pname = profile.Workloads.Server.name in
+      let baseline_arrivals = ref None in
+      List.iter
+        (fun key ->
+          let r = run_server env ~profile ~key in
+          let q = r.Workloads.Server.latency in
+          let s = r.Workloads.Server.stall_latency in
+          let mono (x : Workloads.Server.quantiles) =
+            x.Workloads.Server.p50 <= x.Workloads.Server.p99 +. 1e-9
+            && x.Workloads.Server.p99 <= x.Workloads.Server.p999 +. 1e-9
+          in
+          if not (mono q && mono s) then
+            flag "%s/%s: quantiles not monotone" pname key;
+          if s.Workloads.Server.p999 > q.Workloads.Server.p999 +. 1e-9 then
+            flag "%s/%s: stall latency exceeds total latency" pname key;
+          (* Open-loop property: every backend sees the same offered
+             timeline; a scheme whose stalls perturbed arrivals would
+             mean the loop was closed somewhere. *)
+          (match !baseline_arrivals with
+          | None -> baseline_arrivals := Some r.Workloads.Server.arrivals
+          | Some a ->
+            if a <> r.Workloads.Server.arrivals then
+              flag "%s/%s: arrivals depend on the backend (loop closed)" pname
+                key);
+          let served =
+            if r.Workloads.Server.requests = 0 then 100.
+            else
+              100.
+              *. float_of_int r.Workloads.Server.completed
+              /. float_of_int r.Workloads.Server.requests
+          in
+          Report.Table.add_row table
+            (Printf.sprintf "%s/%s" pname key)
+            [
+              q.Workloads.Server.p50; q.Workloads.Server.p99;
+              q.Workloads.Server.p999; s.Workloads.Server.p50;
+              s.Workloads.Server.p99; s.Workloads.Server.p999;
+              float_of_int r.Workloads.Server.max_queue_depth; served;
+            ])
+        serve_backends)
+    Workloads.Server.profiles;
+  (* The exploit, mounted while traffic flows: recycling allocators hand
+     the victim slot to the attacker's spray; MineSweeper's quarantine
+     (the dangling global is swept) must keep the call benign. *)
+  let attack_lines =
+    List.map
+      (fun key ->
+        if env.verbose then Printf.eprintf "  [serve-attack] %s\n%!" key;
+        let machine = Alloc.Machine.create () in
+        let stack =
+          Workloads.Harness.build (scheme_of_key key) ~threads:1 machine
+        in
+        let profile =
+          Workloads.Server.scale env.scale
+            (Option.get (Workloads.Server.find "steady"))
+        in
+        let outcome, r = Attack.hijack_under_traffic ~profile stack in
+        (match (key, outcome) with
+        | "baseline", Attack.Exploited -> ()
+        | "baseline", _ ->
+          flag "attack-under-traffic: baseline was not exploited"
+        | _, Attack.Exploited ->
+          flag "attack-under-traffic: %s exploited under live traffic" key
+        | _, (Attack.Prevented_fault | Attack.Benign) -> ());
+        Printf.sprintf "  %-20s %s  (%d requests served during the attack)" key
+          (Attack.describe outcome) r.Workloads.Server.completed)
+      [ "baseline"; "minesweeper"; "minesweeper-mostly" ]
+  in
+  let verdict =
+    match !regressions with
+    | [] ->
+      "quantiles monotone, stall latency bounded by total latency, arrivals \
+       identical across backends (open loop), attack outcomes as expected\n"
+    | l -> Printf.sprintf "REGRESSION: %s\n" (String.concat "; " (List.rev l))
+  in
+  buf_figure
+    "Extension: tail latency under server traffic (open-loop generator)"
+    (Report.Table.render table
+    ^ "\nlatency in simulated cycles; 'stall' columns are the \
+       stall-induced share (coupled stall-free Lindley queue on the same \
+       arrivals); profiles: "
+    ^ String.concat ", "
+        (List.map
+           (fun (p : Workloads.Server.profile) ->
+             p.Workloads.Server.name ^ " = "
+             ^ Sim.Arrival.describe p.Workloads.Server.arrival)
+           Workloads.Server.profiles)
+    ^ "\n\nvtable hijack under live traffic (steady profile):\n"
+    ^ String.concat "\n" attack_lines
+    ^ "\n\n" ^ verdict)
+
 let all_figures =
   [
     ("fig1", fig1);
@@ -1074,4 +1199,5 @@ let all_figures =
     ("incremental-sweep", incremental_sweep);
     ("parallel-mark", parallel_mark);
     ("static-bounds", static_bounds);
+    ("tail-latency", tail_latency);
   ]

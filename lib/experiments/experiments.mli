@@ -116,6 +116,17 @@ val static_bounds : env -> string
     check.sh) if any measured value exceeds its static bound or any
     dynamic oracle finding was not statically predicted. *)
 
+val tail_latency : env -> string
+(** Extension: the server-traffic workload family (steady / bursty /
+    diurnal / spike / slow-leak) under the open-loop load generator —
+    p50/p99/p999 total and stall-induced latency per backend (histogram
+    quantiles with within-bucket interpolation), max queue backlog and
+    served fraction, plus the vtable-hijack attack mounted under live
+    traffic. Prints a REGRESSION marker (grepped by check.sh) if any
+    quantile family is non-monotone, stall latency exceeds total
+    latency, arrivals differ across backends (the loop closed), the
+    baseline is not exploited, or a MineSweeper backend is. *)
+
 val all_figures : (string * (env -> string)) list
 (** In paper order; keys are ["fig1"], ["fig2"], ["fig7"] ... ["fig19"],
     plus ["scudo"], ["ptrtrack"], ["ablation-threshold"] and

@@ -5,6 +5,7 @@ type phase =
   | Quarantine
   | Alloc_slow
   | Race
+  | Request
 
 let phase_name = function
   | Mark -> "mark"
@@ -13,6 +14,7 @@ let phase_name = function
   | Quarantine -> "quarantine"
   | Alloc_slow -> "alloc_slow"
   | Race -> "race"
+  | Request -> "request"
 
 let phase_of_name = function
   | "mark" -> Some Mark
@@ -21,6 +23,7 @@ let phase_of_name = function
   | "quarantine" -> Some Quarantine
   | "alloc_slow" -> Some Alloc_slow
   | "race" -> Some Race
+  | "request" -> Some Request
   | _ -> None
 
 type span = {

@@ -15,6 +15,7 @@ type phase =
   | Quarantine  (** quarantine traffic: free intercepts, release phase *)
   | Alloc_slow  (** allocation slow path (allocation pauses) *)
   | Race  (** race-checker window: lock-in to sweep completion, and detected race spans *)
+  | Request  (** server-family request processing (slow-request spans) *)
 
 val phase_name : phase -> string
 val phase_of_name : string -> phase option

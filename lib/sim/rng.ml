@@ -18,6 +18,14 @@ let create seed = { state = mix (Int64.of_int seed) }
 
 let split t = { state = next64 t }
 
+let split_seed ~seed ~index =
+  (* Indexed stream derivation: position [index + 1] of the SplitMix64
+     sequence rooted at [seed], re-mixed so that consecutive indices give
+     uncorrelated child seeds. Pure — does not allocate a generator. *)
+  let base = mix (Int64.of_int seed) in
+  let z = Int64.add base (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  Int64.to_int (Int64.shift_right_logical (mix z) 1)
+
 let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
 
 let word t = Int64.to_int (Int64.shift_right_logical (next64 t) 1)

@@ -14,6 +14,14 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each benchmark / thread its own stream. *)
 
+val split_seed : seed:int -> index:int -> int
+(** [split_seed ~seed ~index] deterministically derives the [index]-th
+    child seed of a top-level [seed] without mutating any generator.
+    Distinct indices yield statistically independent streams; repeat [i]
+    of an experiment uses [split_seed ~seed ~index:i] so that
+    median-of-N estimates are not biased by correlated replicas while
+    the whole family stays reproducible from the one top-level seed. *)
+
 val next : t -> int
 (** [next t] returns a uniformly distributed non-negative 62-bit integer. *)
 

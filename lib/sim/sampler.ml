@@ -46,7 +46,7 @@ let average t =
 let samples t = Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
 
 let normalised t ~points =
-  if t.len = 0 then [||]
+  if t.len = 0 || points <= 0 then [||]
   else begin
     let t0 = t.times.(0) and t1 = t.times.(t.len - 1) in
     let span = max 1 (t1 - t0) in

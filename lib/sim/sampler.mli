@@ -24,4 +24,5 @@ val samples : t -> (int * int) array
 
 val normalised : t -> points:int -> (float * int) array
 (** Resample onto [points] equally spaced positions of normalised time
-    [0..1] — the x-axis used by Figure 8. *)
+    [0..1] — the x-axis used by Figure 8. Empty traces and non-positive
+    [points] yield [[||]] rather than raising. *)

@@ -105,6 +105,122 @@ let test_mean_estimates () =
   Alcotest.(check bool) "exponential mean" true
     (close (Sim.Dist.mean_estimate (Sim.Dist.exponential ~mean:42.)) 42.)
 
+(* ------------------------------------------------------------------ *)
+(* Degenerate parameters: clamp-don't-crash semantics (see dist.mli). *)
+
+let test_degenerate_exponential () =
+  let r = rng () in
+  List.iter
+    (fun mean ->
+      let d = Sim.Dist.exponential ~mean in
+      for _ = 1 to 100 do
+        Alcotest.(check int) "degenerate mean samples 1" 1 (Sim.Dist.sample d r)
+      done)
+    [ 0.; -5.; Float.nan; Float.neg_infinity ]
+
+let test_extreme_exponential_mean () =
+  (* Astronomical means must saturate, not hit int_of_float UB. *)
+  let r = rng () in
+  List.iter
+    (fun mean ->
+      let d = Sim.Dist.exponential ~mean in
+      for _ = 1 to 100 do
+        let v = Sim.Dist.sample d r in
+        Alcotest.(check bool) "in [1, max_int]" true (v >= 1 && v <= max_int)
+      done)
+    [ 1e18; 1e300; Float.infinity ]
+
+let test_degenerate_pareto () =
+  let r = rng () in
+  (* shape <= 0: all mass at the cap. *)
+  List.iter
+    (fun shape ->
+      let d = Sim.Dist.pareto ~shape ~scale:64 ~cap:4096 in
+      for _ = 1 to 50 do
+        Alcotest.(check int) "heavy-tail degenerate" 4096 (Sim.Dist.sample d r)
+      done)
+    [ 0.; -1.; Float.nan ];
+  (* Tiny shape overflows the variate: clamps to cap, never UB. *)
+  let d = Sim.Dist.pareto ~shape:0.001 ~scale:64 ~cap:4096 in
+  for _ = 1 to 200 do
+    let v = Sim.Dist.sample d r in
+    Alcotest.(check bool) "within clamped range" true (v >= 64 && v <= 4096)
+  done;
+  (* scale/cap clamps: scale >= 1, cap >= scale. *)
+  let d = Sim.Dist.pareto ~shape:1.3 ~scale:(-8) ~cap:(-100) in
+  for _ = 1 to 50 do
+    let v = Sim.Dist.sample d r in
+    Alcotest.(check bool) "negative scale/cap clamp to 1" true (v = 1)
+  done
+
+let test_reversed_uniform () =
+  let d = Sim.Dist.uniform ~lo:20 ~hi:10 in
+  let r = rng () in
+  for _ = 1 to 200 do
+    let v = Sim.Dist.sample d r in
+    Alcotest.(check bool) "swapped bounds" true (v >= 10 && v <= 20)
+  done
+
+let test_zero_weight_choice () =
+  let d =
+    Sim.Dist.choice
+      [ (0., Sim.Dist.constant 1); (0., Sim.Dist.constant 9) ]
+  in
+  let r = rng () in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "zero total weight picks last branch" 9
+      (Sim.Dist.sample d r)
+  done;
+  let d =
+    Sim.Dist.choice
+      [ (-3., Sim.Dist.constant 1); (1., Sim.Dist.constant 2) ]
+  in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "negative weight clamps to 0" 2 (Sim.Dist.sample d r)
+  done
+
+let test_sampler_normalised_guard () =
+  let s = Sim.Sampler.create () in
+  Alcotest.(check int) "empty trace" 0
+    (Array.length (Sim.Sampler.normalised s ~points:10));
+  Sim.Sampler.record s ~now:0 ~rss:100;
+  Alcotest.(check int) "points = 0" 0
+    (Array.length (Sim.Sampler.normalised s ~points:0));
+  Alcotest.(check int) "points < 0" 0
+    (Array.length (Sim.Sampler.normalised s ~points:(-4)));
+  Alcotest.(check int) "points = 1 still works" 1
+    (Array.length (Sim.Sampler.normalised s ~points:1))
+
+(* Valid parameters keep their exact pre-clamp sample streams: the CI
+   export gates compare runs byte-for-byte, so the clamps must be inert
+   in range. Golden first draws for a fixed seed. *)
+let test_valid_params_bit_identical () =
+  let draws d =
+    let r = Sim.Rng.create 5 in
+    List.init 4 (fun _ -> Sim.Dist.sample d r)
+  in
+  let check name expected d =
+    Alcotest.(check (list int)) (name ^ " golden stream") expected (draws d)
+  in
+  check "exponential" [ 53; 76; 152; 146 ] (Sim.Dist.exponential ~mean:100.);
+  check "pareto" [ 96; 115; 207; 197 ]
+    (Sim.Dist.pareto ~shape:1.3 ~scale:64 ~cap:4096);
+  check "uniform" [ 18; 20; 10; 18 ] (Sim.Dist.uniform ~lo:10 ~hi:20)
+
+let prop_degenerate_total =
+  QCheck.Test.make ~name:"sampling never raises for arbitrary parameters"
+    ~count:500
+    QCheck.(
+      triple small_int
+        (triple (float_range (-1e3) 1e3) small_signed_int small_signed_int)
+        (float_range (-10.) 10.))
+    (fun (seed, (shape, scale, cap), mean) ->
+      let r = Sim.Rng.create seed in
+      let p = Sim.Dist.pareto ~shape ~scale ~cap in
+      let e = Sim.Dist.exponential ~mean in
+      let vp = Sim.Dist.sample p r and ve = Sim.Dist.sample e r in
+      vp >= 1 && ve >= 1)
+
 let prop_sample_non_negative =
   QCheck.Test.make ~name:"samples non-negative for non-negative params"
     ~count:300
@@ -128,5 +244,17 @@ let suite =
       Alcotest.test_case "choice weights" `Quick test_choice_weights;
       Alcotest.test_case "shifted" `Quick test_shifted;
       Alcotest.test_case "mean estimates" `Quick test_mean_estimates;
+      Alcotest.test_case "degenerate exponential" `Quick
+        test_degenerate_exponential;
+      Alcotest.test_case "extreme exponential mean" `Quick
+        test_extreme_exponential_mean;
+      Alcotest.test_case "degenerate pareto" `Quick test_degenerate_pareto;
+      Alcotest.test_case "reversed uniform" `Quick test_reversed_uniform;
+      Alcotest.test_case "zero-weight choice" `Quick test_zero_weight_choice;
+      Alcotest.test_case "sampler normalised guard" `Quick
+        test_sampler_normalised_guard;
+      Alcotest.test_case "valid params bit-identical" `Quick
+        test_valid_params_bit_identical;
+      QCheck_alcotest.to_alcotest prop_degenerate_total;
       QCheck_alcotest.to_alcotest prop_sample_non_negative;
     ] )

@@ -5,6 +5,7 @@ let () =
     [
       Test_rng.suite;
       Test_dist.suite;
+      Test_arrival.suite;
       Test_clock_sampler.suite;
       Test_machine.suite;
       Test_vmem.suite;
@@ -28,6 +29,7 @@ let () =
       Test_ptrtrack.suite;
       Test_workloads.suite;
       Test_trace.suite;
+      Test_server.suite;
       Test_sanitizer.suite;
       Test_racecheck.suite;
       Test_attack.suite;

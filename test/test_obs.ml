@@ -362,11 +362,96 @@ let test_config_make () =
   Alcotest.(check bool) "override applies" true
     ((not c.C.zeroing) && C.default.C.zeroing)
 
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles: within-bucket interpolation boundary cases.    *)
+
+let hist_with observations =
+  let reg = R.create () in
+  let h = R.histogram reg "q" in
+  List.iter (fun (v, n) -> for _ = 1 to n do R.Histogram.observe h v done)
+    observations;
+  h
+
+let test_upper_bounds () =
+  Alcotest.(check int) "bucket 0" 2 (R.Histogram.upper_bound 0);
+  Alcotest.(check int) "bucket 5" 64 (R.Histogram.upper_bound 5);
+  Alcotest.(check int) "last bucket open-ended" max_int
+    (R.Histogram.upper_bound (R.Histogram.bucket_count - 1))
+
+let test_quantile_empty () =
+  Alcotest.(check (float 0.)) "empty histogram" 0.
+    (R.Histogram.quantile (hist_with []) 0.999)
+
+let test_quantile_single_observation () =
+  (* One observation of 100 lands in bucket [64, 128). The raw upper
+     bound would report every quantile as 128 (a 28% overstatement here,
+     up to ~2x in general); interpolation spreads the rank across the
+     bucket instead. *)
+  let h = hist_with [ (100, 1) ] in
+  Alcotest.(check (float 1e-9)) "q=0 reads the lower edge" 64.
+    (R.Histogram.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "q=1 reads the upper edge" 128.
+    (R.Histogram.quantile h 1.);
+  Alcotest.(check (float 1e-9)) "median interpolates" 96.
+    (R.Histogram.quantile h 0.5);
+  let p999 = R.Histogram.quantile h 0.999 in
+  Alcotest.(check bool) "p999 stays inside the bucket" true
+    (p999 > 127.8 && p999 < 128.)
+
+let test_quantile_boundary_mass () =
+  (* All mass exactly on a power of two: the documented worst case. The
+     true p50 is 1024; interpolation reads 1536 (+50%), the raw upper
+     bound would read 2048 (+100%). *)
+  let h = hist_with [ (1024, 1000) ] in
+  let p50 = R.Histogram.quantile h 0.5 in
+  Alcotest.(check (float 1e-9)) "worst-case +50%" 1536. p50;
+  Alcotest.(check bool) "better than the raw upper bound" true (p50 < 2048.)
+
+let test_quantile_mixed_tail () =
+  (* 900 fast requests (2 cycles), 100 slow (1500 cycles, bucket
+     [1024, 2048)): p50 in the fast bucket, p99/p999 interpolated within
+     the slow bucket, strictly below its upper edge. *)
+  let h = hist_with [ (2, 900); (1500, 100) ] in
+  let p50 = R.Histogram.quantile h 0.5 in
+  let p99 = R.Histogram.quantile h 0.99 in
+  let p999 = R.Histogram.quantile h 0.999 in
+  Alcotest.(check bool) "p50 in fast bucket" true (p50 >= 2. && p50 < 4.);
+  Alcotest.(check bool) "p99 in slow bucket" true (p99 >= 1024. && p99 < 2048.);
+  Alcotest.(check bool) "ordered" true (p50 <= p99 && p99 <= p999);
+  Alcotest.(check bool) "p999 below raw upper bound" true (p999 < 2048.)
+
+let test_quantile_clamps () =
+  let h = hist_with [ (10, 5) ] in
+  Alcotest.(check (float 1e-9)) "q < 0 clamps to 0" (R.Histogram.quantile h 0.)
+    (R.Histogram.quantile h (-3.));
+  Alcotest.(check (float 1e-9)) "q > 1 clamps to 1" (R.Histogram.quantile h 1.)
+    (R.Histogram.quantile h 7.)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (int_range 0 100_000))
+        (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.)))
+    (fun (values, (q1, q2)) ->
+      let h = hist_with (List.map (fun v -> (v, 1)) values) in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      R.Histogram.quantile h lo <= R.Histogram.quantile h hi +. 1e-9)
+
 let suite =
   ( "obs",
     [
       Alcotest.test_case "histogram bucket boundaries" `Quick
         test_histogram_buckets;
+      Alcotest.test_case "histogram upper bounds" `Quick test_upper_bounds;
+      Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
+      Alcotest.test_case "quantile: single observation" `Quick
+        test_quantile_single_observation;
+      Alcotest.test_case "quantile: boundary mass" `Quick
+        test_quantile_boundary_mass;
+      Alcotest.test_case "quantile: mixed tail" `Quick test_quantile_mixed_tail;
+      Alcotest.test_case "quantile: q clamps" `Quick test_quantile_clamps;
+      QCheck_alcotest.to_alcotest prop_quantile_monotone;
       Alcotest.test_case "histogram observe/sum/buckets" `Quick
         test_histogram_observe;
       Alcotest.test_case "registry basics" `Quick test_registry_basics;
