@@ -168,26 +168,32 @@ echo "== parallel marking: equivalence suite + determinism across domains"
 _build/default/test/test_main.exe test minesweeper.parsweep >/dev/null
 echo "parallel equivalence suite passed"
 
+# The pipeline suite extends the same discipline to the whole sweep
+# cycle: stage API outcomes, batched quarantine flushes, and export
+# equivalence across presets × marking modes × domain counts.
+_build/default/test/test_main.exe test minesweeper.pipeline >/dev/null
+echo "sweep pipeline suite passed"
+
 # Metrics exports at 1 vs 4 domains must be byte-identical once the
 # schema header (it advertises the metric count, which grows with the
-# par.* family) and the par.* lines themselves are stripped: parallelism
-# may add telemetry about itself but must not perturb a single other
-# exported value.
+# par.* family) and the par.* / sweep.stage.* lines themselves are
+# stripped: parallelism may add telemetry about itself but must not
+# perturb a single other exported value.
 "$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
   --domains 1 --metrics-out "$workdir/d1.jsonl" >/dev/null
 "$CLI" bench --suite spec2006 -b perlbench -s minesweeper --scale 0.02 \
   --domains 4 --metrics-out "$workdir/d4.jsonl" >/dev/null
 grep -v '"schema"' "$workdir/d1.jsonl" | grep -v '"metric":"par\.' \
-  >"$workdir/d1.stripped"
+  | grep -v '"metric":"sweep\.stage\.' >"$workdir/d1.stripped"
 grep -v '"schema"' "$workdir/d4.jsonl" | grep -v '"metric":"par\.' \
-  >"$workdir/d4.stripped"
+  | grep -v '"metric":"sweep\.stage\.' >"$workdir/d4.stripped"
 cmp "$workdir/d1.stripped" "$workdir/d4.stripped" \
-  || { echo "FAIL: 4-domain export differs from 1-domain beyond par.*" >&2; exit 1; }
+  || { echo "FAIL: 4-domain export differs from 1-domain beyond par.*/sweep.stage.*" >&2; exit 1; }
 grep -q '"metric":"par\.chunks"' "$workdir/d4.jsonl" \
   || { echo "FAIL: 4-domain run exported no par.* telemetry" >&2; exit 1; }
 grep -q '"metric":"par\.' "$workdir/d1.jsonl" \
   && { echo "FAIL: 1-domain run exported par.* telemetry" >&2; exit 1; }
-echo "1- and 4-domain exports identical modulo par.* telemetry"
+echo "1- and 4-domain exports identical modulo par.*/sweep.stage.* telemetry"
 
 # The race checker must stay sound with the parallel engine enabled: the
 # coordinator emits every synchronization event in canonical order, so
@@ -219,6 +225,41 @@ if grep -q "REGRESSION" "$workdir/parfig.txt"; then
   exit 1
 fi
 echo "parallel mark identical across domains with modeled speedup >= 1.5x"
+
+echo "== bench smoke: sweep pipeline speedup figure"
+# The staged pipeline's modeled end-to-end speedup: swept bytes must be
+# identical at every domain count and the best modeled sweep-cycle
+# speedup at 4 domains must stay >= 2x (the figure prints REGRESSION
+# otherwise).
+"$CLI" figures --only sweep-pipeline --scale 0.02 >"$workdir/pipefig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/pipefig.txt"; then
+  grep "REGRESSION" "$workdir/pipefig.txt" >&2
+  echo "FAIL: sweep pipeline diverged or lost its modeled speedup" >&2
+  exit 1
+fi
+echo "sweep pipeline identical across domains with modeled speedup >= 2x"
+
+echo "== api: deprecated mark entry points stay quarantined"
+# The legacy mark_* entry points survive only as shims inside the
+# instance layer; nothing else in the tree may call them (the pipeline
+# suite's shim test is the one sanctioned caller).
+if grep -rn "mark_all_memory\|mark_incremental" lib bin test \
+    --include='*.ml' --include='*.mli' \
+    | grep -v "^lib/core/instance\.ml:" \
+    | grep -v "^lib/core/instance\.mli:" \
+    | grep -v "^lib/core/instance_intf\.ml:" \
+    | grep -v "^test/test_pipeline\.ml:" \
+    | grep -q .; then
+  grep -rn "mark_all_memory\|mark_incremental" lib bin test \
+    --include='*.ml' --include='*.mli' \
+    | grep -v "^lib/core/instance\.ml:" \
+    | grep -v "^lib/core/instance\.mli:" \
+    | grep -v "^lib/core/instance_intf\.ml:" \
+    | grep -v "^test/test_pipeline\.ml:" >&2
+  echo "FAIL: deprecated mark entry points called outside their shims" >&2
+  exit 1
+fi
+echo "no callers of the deprecated mark entry points outside the shims"
 
 echo "== telemetry: metrics export determinism + schema"
 # Two identical runs must export byte-identical JSONL (every value is an

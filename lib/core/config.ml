@@ -2,7 +2,37 @@ type concurrency =
   | Sequential
   | Concurrent of { helpers : int; stop_the_world : bool }
 
-type sweep_mode =
+(* The sweep knobs live in their own record so a pipeline plan can be
+   derived from exactly one place (see [Pipeline.plan_of_config]).
+   [Sweep0] is the structural definition; the public [Sweep] module at
+   the bottom of this file re-exports it together with preset routing
+   (which needs the preset table defined below). *)
+module Sweep0 = struct
+  type mode =
+    | Full_scan
+    | Incremental
+
+  type t = {
+    mode : mode;
+    domains : int;
+    flush_batch : int;
+  }
+
+  let default = { mode = Full_scan; domains = 1; flush_batch = 64 }
+
+  let make ?(mode = default.mode) ?(domains = default.domains)
+      ?(flush_batch = default.flush_batch) () =
+    { mode; domains = max 1 domains; flush_batch = max 1 flush_batch }
+
+  let pp ppf t =
+    let mode =
+      match t.mode with Full_scan -> "full" | Incremental -> "incremental"
+    in
+    Format.fprintf ppf "{mode=%s domains=%d flush_batch=%d}" mode t.domains
+      t.flush_batch
+end
+
+type sweep_mode = Sweep0.mode =
   | Full_scan
   | Incremental
 
@@ -14,8 +44,7 @@ type t = {
   keep_failed : bool;
   purging : bool;
   concurrency : concurrency;
-  sweep_mode : sweep_mode;
-  domains : int;
+  sweep : Sweep0.t;
   threshold : float;
   threshold_min_bytes : int;
   unmap_factor : float;
@@ -32,8 +61,7 @@ let default = {
   keep_failed = true;
   purging = true;
   concurrency = Concurrent { helpers = 6; stop_the_world = false };
-  sweep_mode = Full_scan;
-  domains = 1;
+  sweep = Sweep0.default;
   threshold = 0.15;
   threshold_min_bytes = 128 * 1024;
   unmap_factor = 9.0;
@@ -42,13 +70,27 @@ let default = {
   debug_double_free = false;
 }
 
+(* Accessors for the nested sweep knobs, so call sites read as before
+   the [Sweep.t] collapse. *)
+let sweep_mode t = t.sweep.Sweep0.mode
+let domains t = t.sweep.Sweep0.domains
+let flush_batch t = t.sweep.Sweep0.flush_batch
+
+let with_sweep_mode mode t =
+  { t with sweep = { t.sweep with Sweep0.mode } }
+
+let with_domains n t =
+  { t with sweep = { t.sweep with Sweep0.domains = max 1 n } }
+
+let with_flush_batch n t =
+  { t with sweep = { t.sweep with Sweep0.flush_batch = max 1 n } }
+
 let mostly_concurrent =
   { default with concurrency = Concurrent { helpers = 6; stop_the_world = true } }
 
-let incremental = { default with sweep_mode = Incremental }
+let incremental = with_sweep_mode Incremental default
 
-let incremental_mostly =
-  { mostly_concurrent with sweep_mode = Incremental }
+let incremental_mostly = with_sweep_mode Incremental mostly_concurrent
 
 (* Cumulative optimisation levels, in the paper's order of estimated
    importance (Section 5.4). *)
@@ -112,12 +154,16 @@ let partial_versions =
   ]
 
 (* Labelled constructor: every field defaults to the shipping
-   configuration, so call sites name only what they change. *)
+   configuration, so call sites name only what they change. The sweep
+   knobs keep their historical labels and feed the nested record. *)
 let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     ?(unmapping = default.unmapping) ?(sweeping = default.sweeping)
     ?(keep_failed = default.keep_failed) ?(purging = default.purging)
-    ?(concurrency = default.concurrency) ?(sweep_mode = default.sweep_mode)
-    ?(domains = default.domains) ?(threshold = default.threshold)
+    ?(concurrency = default.concurrency)
+    ?(sweep_mode = Sweep0.default.Sweep0.mode)
+    ?(domains = Sweep0.default.Sweep0.domains)
+    ?(flush_batch = Sweep0.default.Sweep0.flush_batch)
+    ?(threshold = default.threshold)
     ?(threshold_min_bytes = default.threshold_min_bytes)
     ?(unmap_factor = default.unmap_factor)
     ?(pause_factor = default.pause_factor)
@@ -131,8 +177,7 @@ let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     keep_failed;
     purging;
     concurrency;
-    sweep_mode;
-    domains;
+    sweep = Sweep0.make ~mode:sweep_mode ~domains ~flush_batch ();
     threshold;
     threshold_min_bytes;
     unmap_factor;
@@ -140,8 +185,6 @@ let make ?(quarantining = default.quarantining) ?(zeroing = default.zeroing)
     shadow_granule;
     debug_double_free;
   }
-
-let with_domains n t = { t with domains = max 1 n }
 
 (* The canonical preset table: the single place a preset string is tied
    to a configuration. The CLI, the harness and the oracle all resolve
@@ -189,13 +232,23 @@ let pp ppf t =
         (if stop_the_world then ", stw" else "")
   in
   let mode =
-    match t.sweep_mode with Full_scan -> "full" | Incremental -> "incremental"
+    match sweep_mode t with Full_scan -> "full" | Incremental -> "incremental"
   in
-  let domains =
-    if t.domains > 1 then Printf.sprintf " domains=%d" t.domains else ""
+  let domains_s =
+    if domains t > 1 then Printf.sprintf " domains=%d" (domains t) else ""
   in
   Format.fprintf ppf
     "{quarantine=%b zero=%b unmap=%b sweep=%b(%s) keep_failed=%b purge=%b %s%s \
      threshold=%.2f}"
     t.quarantining t.zeroing t.unmapping t.sweeping mode t.keep_failed
-    t.purging concurrency domains t.threshold
+    t.purging concurrency domains_s t.threshold
+
+(* Public sweep-knob module: the structural record plus preset routing.
+   [Sweep.of_preset] resolves the same preset table as {!of_preset} and
+   projects the sweep knobs, so a pipeline plan is constructed from
+   exactly one place. *)
+module Sweep = struct
+  include Sweep0
+
+  let of_preset name = Result.map (fun c -> c.sweep) (of_preset name)
+end

@@ -13,15 +13,54 @@ type concurrency =
       (** dedicated sweeper thread plus [helpers] helper threads;
           [stop_the_world] adds the mostly-concurrent dirty-page re-scan *)
 
-type sweep_mode =
+(** The sweep knobs, collapsed into one record: marking mode, worker
+    domain count, and quarantine flush batching. A sweep-pipeline plan
+    ([Pipeline.plan_of_config]) is derived from exactly this record plus
+    the concurrency/feature toggles — there is no other plumbing. *)
+module Sweep : sig
+  type mode =
+    | Full_scan
+        (** every sweep rescans all readable program memory (the paper's
+            baseline marking phase, Section 4.4) *)
+    | Incremental
+        (** keep soft-dirty-style write tracking live between sweeps and
+            cache a per-page pointer summary: only pages written since
+            the previous sweep are rescanned, clean pages replay their
+            cached summary into the shadow map *)
+
+  type t = {
+    mode : mode;
+    domains : int;
+        (** worker domains for the pipelined sweep stages. [1] (the
+            default) keeps the historical single-threaded sweep;
+            [n > 1] shards work across [n] OCaml domains through
+            [lib/parsweep]. Outputs are byte-identical for every value —
+            only the [par.*] / [sweep.stage.*] telemetry changes *)
+    flush_batch : int;
+        (** quarantine entries locked in per batched flush during sweep
+            setup; each batch takes the quarantine lock once *)
+  }
+
+  val default : t
+  (** [Full_scan], one domain, 64-entry flush batches. *)
+
+  val make : ?mode:mode -> ?domains:int -> ?flush_batch:int -> unit -> t
+  (** Labelled constructor over {!default}; [domains] and [flush_batch]
+      are clamped to at least 1. *)
+
+  val of_preset : string -> (t, string) result
+  (** The sweep knobs of a named preset (same table and aliases as
+      {!Config.of_preset}); the single routing point from preset string
+      to pipeline plan inputs. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type sweep_mode = Sweep.mode =
   | Full_scan
-      (** every sweep rescans all readable program memory (the paper's
-          baseline marking phase, Section 4.4) *)
   | Incremental
-      (** keep soft-dirty-style write tracking live between sweeps and
-          cache a per-page pointer summary: only pages written since the
-          previous sweep are rescanned, clean pages replay their cached
-          summary into the shadow map *)
+      (** Compatibility re-export of {!Sweep.mode}: bare [Full_scan] /
+          [Incremental] keep working at the [Config] level. *)
 
 type t = {
   quarantining : bool;
@@ -39,18 +78,9 @@ type t = {
           found (partial version 5) *)
   purging : bool;  (** full allocator purge after each sweep (Section 4.5) *)
   concurrency : concurrency;
-  sweep_mode : sweep_mode;
-      (** how the marking phase covers memory; {!Incremental} trades a
-          summary cache (invalidated on store/zero/decommit/protect) for
-          strictly fewer bytes swept per marking phase *)
-  domains : int;
-      (** marker domains for the marking phase. [1] (the default) keeps
-          the historical single-threaded scan; [n > 1] shards readable
-          pages across [n] OCaml worker domains through the parallel
-          marking engine ([lib/parsweep]). The shadow set, counters and
-          sweep decisions are byte-identical for every value — only the
-          [par.*] telemetry and the modeled mark-phase critical path
-          change *)
+  sweep : Sweep.t;
+      (** the collapsed sweep knobs: marking mode, worker domains,
+          flush batching — see {!Sweep} *)
   threshold : float;
       (** sweep when pending quarantine exceeds this fraction of the
           heap (paper default 15 %) *)
@@ -76,7 +106,7 @@ val mostly_concurrent : t
 (** Same but with the brief stop-the-world re-scan (Section 5.3). *)
 
 val incremental : t
-(** {!default} with [sweep_mode = Incremental]: marking rescans only
+(** {!default} with [Sweep.mode = Incremental]: marking rescans only
     pages dirtied since the previous sweep and replays cached per-page
     pointer summaries for the rest. Protection guarantees are identical —
     the rebuilt shadow equals a from-scratch full mark (audited by
@@ -119,6 +149,7 @@ val make :
   ?concurrency:concurrency ->
   ?sweep_mode:sweep_mode ->
   ?domains:int ->
+  ?flush_batch:int ->
   ?threshold:float ->
   ?threshold_min_bytes:int ->
   ?unmap_factor:float ->
@@ -128,11 +159,28 @@ val make :
   unit ->
   t
 (** Labelled constructor; every omitted field takes its {!default}
-    value, so [make ~sweep_mode:Incremental ()] reads as a delta. *)
+    value, so [make ~sweep_mode:Incremental ()] reads as a delta. The
+    historical [sweep_mode]/[domains] labels feed the nested
+    {!Sweep.t}. *)
+
+val sweep_mode : t -> sweep_mode
+(** The marking mode of the nested sweep record. *)
+
+val domains : t -> int
+(** The worker-domain count of the nested sweep record. *)
+
+val flush_batch : t -> int
+(** The quarantine flush batch size of the nested sweep record. *)
+
+val with_sweep_mode : sweep_mode -> t -> t
+(** Replace the marking mode, keeping the other sweep knobs. *)
 
 val with_domains : int -> t -> t
-(** [with_domains n t] is [t] marking with [max 1 n] worker domains —
+(** [with_domains n t] is [t] sweeping with [max 1 n] worker domains —
     the CLI's [--domains] override, applicable to any preset. *)
+
+val with_flush_batch : int -> t -> t
+(** Replace the flush batch size (clamped to at least 1). *)
 
 val presets : (string * t) list
 (** The named configurations the CLI and harness accept:

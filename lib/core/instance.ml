@@ -12,6 +12,7 @@ let error_to_string = Instance_intf.error_to_string
 
 type sweep_event = Instance_intf.sweep_event =
   | Sweep_locked of { sweep : int; entries : int }
+  | Stage_boundary of { sweep : int; stage : Pipeline.stage; enter : bool }
   | Mark_page of { sweep : int; base : int }
   | Mark_completed of { sweep : int; scanned_bytes : int }
   | Stw_fence of { sweep : int }
@@ -31,6 +32,16 @@ type sweep_state = {
   entries : Quarantine.entry list;
   completion : int;
   started : int;
+  plan : Pipeline.plan;
+  scanned_bytes : int;
+  replayed_words : int;
+  flush_batches : int;
+  (* Mark/Merge stage reports in pipeline order; Release/Purge are
+     appended when the sweep finishes. *)
+  head_reports : Pipeline.stage_report list;
+  (* Modeled critical path of the parallel mark, substituted for the
+     Mark stage in the pipelined projection. *)
+  mark_pipelined : int;
 }
 
 (* Incremental sweeping (Config.Incremental): what the last scan of a
@@ -59,6 +70,22 @@ type par_telemetry = {
   par_mark_cycles_seq_est : R.counter;
 }
 
+(* Per-stage telemetry of the sweep pipeline, registered at every domain
+   count. All of it is a modeled projection over the stage reports —
+   nothing here feeds the simulated clock — and every series except
+   [sweep.stage.pipeline_cycles_est] is domain-independent; determinism
+   gates strip the whole [sweep.stage.*] prefix alongside [par.*]. *)
+type stage_telemetry = {
+  st_mark_cycles : R.counter;
+  st_merge_cycles : R.counter;
+  st_release_cycles : R.counter;
+  st_purge_cycles : R.counter;
+  st_seq_cycles : R.counter;
+  st_pipe_cycles : R.counter;
+  st_batches : R.counter;
+  st_flush_batches : R.counter;
+}
+
 type t = {
   machine : Alloc.Machine.t;
   je : B.t;
@@ -72,12 +99,19 @@ type t = {
   alloc_hist : R.histogram; (* malloc request sizes *)
   unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
   par : par_telemetry option;
+  stage_obs : stage_telemetry;
   log : Event_log.t;
   mutable summaries : (int, page_summary) Hashtbl.t; (* page index *)
   mutable sweep : sweep_state option;
   mutable last_decay_tick : int;
   mutable post_sweep_hook : (unit -> unit) option;
   mutable sync_observer : (sweep_event -> unit) option;
+  mutable last_outcome : Pipeline.outcome option;
+  (* Purge-stage accounting: the vmem decommit observer counts decommits
+     only while [purging_now] is set around [B.purge_all]. *)
+  mutable purging_now : bool;
+  mutable purge_decommits : int;
+  mutable purge_decommit_bytes : int;
 }
 
 let decay_tick_interval = 1_000_000
@@ -98,16 +132,6 @@ let now t = Alloc.Machine.now t.machine
 
 let count = R.Counter.incr
 
-let helpers_of t =
-  match t.config.Config.concurrency with
-  | Config.Sequential -> 0
-  | Config.Concurrent { helpers; _ } -> helpers
-
-let stop_the_world_of t =
-  match t.config.Config.concurrency with
-  | Config.Sequential -> false
-  | Config.Concurrent { stop_the_world; _ } -> stop_the_world
-
 let emit_sync t ev =
   match t.sync_observer with None -> () | Some f -> f ev
 
@@ -118,7 +142,7 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
   let registry = match obs with Some r -> r | None -> R.create () in
   let ring = Ring.create ~capacity:ring_capacity () in
   let par =
-    if config.Config.domains > 1 then begin
+    if Config.domains config > 1 then begin
       let p =
         {
           par_domains = R.gauge registry "par.domains";
@@ -129,10 +153,22 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
           par_mark_cycles_seq_est = R.counter registry "par.mark_cycles_seq_est";
         }
       in
-      R.Gauge.set p.par_domains config.Config.domains;
+      R.Gauge.set p.par_domains (Config.domains config);
       Some p
     end
     else None
+  in
+  let stage_obs =
+    {
+      st_mark_cycles = R.counter registry "sweep.stage.mark_cycles_est";
+      st_merge_cycles = R.counter registry "sweep.stage.merge_cycles_est";
+      st_release_cycles = R.counter registry "sweep.stage.release_cycles_est";
+      st_purge_cycles = R.counter registry "sweep.stage.purge_cycles_est";
+      st_seq_cycles = R.counter registry "sweep.stage.seq_cycles_est";
+      st_pipe_cycles = R.counter registry "sweep.stage.pipeline_cycles_est";
+      st_batches = R.counter registry "sweep.stage.batches";
+      st_flush_batches = R.counter registry "sweep.stage.flush_batches";
+    }
   in
   let t =
     {
@@ -148,17 +184,29 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
       alloc_hist = R.histogram registry "ms.alloc_request_bytes";
       unmapped_pages = Hashtbl.create 1024;
       par;
+      stage_obs;
       log = Event_log.create ~ring ();
       summaries = Hashtbl.create 1024;
       sweep = None;
       last_decay_tick = 0;
       post_sweep_hook = None;
       sync_observer = None;
+      last_outcome = None;
+      purging_now = false;
+      purge_decommits = 0;
+      purge_decommit_bytes = 0;
     }
   in
   (* The surrounding layers publish their accounting into the same
      registry as read-through metrics — one export covers the stack. *)
   Vmem.attach_obs (mem t) registry;
+  (* Purge-stage accounting: every decommit the allocator performs while
+     the Purge stage runs is one madvise-equivalent syscall. *)
+  Vmem.set_decommit_observer (mem t) (fun ~addr:_ ~len ->
+      if t.purging_now then begin
+        t.purge_decommits <- t.purge_decommits + 1;
+        t.purge_decommit_bytes <- t.purge_decommit_bytes + len
+      end);
   R.derive_gauge registry "alloc.backend_live_bytes" (fun () ->
       B.live_bytes je);
   R.derive_gauge registry "ms.quarantine_bytes" (fun () ->
@@ -193,29 +241,27 @@ let covered_pages ~addr ~len =
     if hi - lo >= page then Some (lo, hi - lo) else None
 
 (* ------------------------------------------------------------------ *)
-(* Marking phase                                                       *)
+(* Marking phase: the Mark and Merge stages of the sweep pipeline       *)
 
-let mark_page t bytes =
-  let wilderness = B.wilderness t.je in
-  let shadow = t.shadow in
-  let words = page / word in
-  for k = 0 to words - 1 do
-    let w = Int64.to_int (Bytes.get_int64_le bytes (k * word)) in
-    if w >= Layout.heap_base && w < wilderness then Shadow.mark shadow w
-  done
-
-let mark_all_memory_seq t =
-  Shadow.clear t.shadow;
-  let swept = ref 0 in
+(* Bracket one pipeline stage: a [Stage_boundary] pair for the race
+   checker and a [Ring.Stage] span for the profile. Every attribute is
+   domain-independent (item count, bytes, single-threaded cycle
+   estimate), so stage spans compare byte-identical across domain
+   counts. [f] returns [(items, bytes, cycles_est, result)]. *)
+let in_stage t stage f =
   let sweep = sweep_number t in
-  Vmem.iter_readable_pages (mem t) (fun base bytes ->
-      emit_sync t (Mark_page { sweep; base });
-      mark_page t bytes;
-      swept := !swept + page);
-  count t.stats.Stats.Live.swept_bytes !swept;
-  !swept
+  emit_sync t (Stage_boundary { sweep; stage; enter = true });
+  let pending =
+    Ring.enter ~now:(now t) Ring.Stage (Pipeline.stage_name stage)
+  in
+  let items, bytes, cycles, result = f () in
+  Ring.exit t.ring pending ~now:(now t) ~bytes
+    ~attrs:[ ("sweep", sweep); ("items", items); ("cycles_est", cycles) ]
+    ();
+  emit_sync t (Stage_boundary { sweep; stage; enter = false });
+  ({ Pipeline.stage; cycles; items; bytes }, result)
 
-(* ---- Parallel marking (Config.domains > 1): lib/parsweep ----------- *)
+(* ---- Worker scans (lib/parsweep) ----------------------------------- *)
 
 (* Record a parallel run into the [par.*] telemetry. Everything written
    here is either deterministic (chunk counts, static-seeding imbalance,
@@ -276,15 +322,18 @@ let page_hits bytes ~wilderness =
     hits
   end
 
-(* Parallel full scan. Workers compute per-page hit arrays over a
-   canonical (base-sorted, zero-copy) snapshot; the coordinator then
-   merges in chunk-id order: emits the Mark_page events, writes the
-   shadow map and counts swept bytes. The merge is the only writer of
-   shared state, so the outcome is identical for any domain count and
-   steal schedule — and identical to [mark_all_memory_seq], which visits
-   the same pages with the same filter in a different order. *)
-let mark_all_memory_par t =
+(* Full scan as a Mark/Merge stage pair, unified over every domain
+   count. The Mark stage has the workers compute per-page hit arrays
+   over a canonical (base-sorted, zero-copy) snapshot — at domains = 1
+   the chunk map runs inline on the calling domain, same structure, no
+   pool. The Merge stage then walks the chunks in chunk-id order: emits
+   the Mark_page events, writes the shadow map and counts swept bytes.
+   The merge is the only writer of shared state, so the outcome is
+   byte-identical for any domain count and steal schedule. Returns
+   [(swept_bytes, stage_reports, mark_pipelined)]. *)
+let run_full_scan t =
   Shadow.clear t.shadow;
+  let c = cost t in
   let wilderness = B.wilderness t.je in
   let pages =
     Array.map
@@ -292,34 +341,49 @@ let mark_all_memory_par t =
       (Vmem.snapshot_readable_pages (mem t))
   in
   let chunks = Parsweep.shard pages in
-  let scan (c : Parsweep.chunk) =
+  let scan (ch : Parsweep.chunk) =
     Array.map
       (fun (p : Parsweep.page) -> page_hits p.Parsweep.bytes ~wilderness)
-      c.Parsweep.pages
+      ch.Parsweep.pages
   in
-  let per_chunk, stats =
-    Parsweep.map_chunks ~domains:t.config.Config.domains ~scan chunks
+  let mark_report, (per_chunk, stats) =
+    in_stage t Pipeline.Mark (fun () ->
+        let per_chunk, stats =
+          Parsweep.map_chunks ~domains:(Config.domains t.config) ~scan chunks
+        in
+        let bytes = stats.Parsweep.total_bytes in
+        ( Array.length pages,
+          bytes,
+          Sim.Cost.bytes_cost c.Sim.Cost.mark_single_per_byte bytes,
+          (per_chunk, stats) ))
   in
-  let swept = ref 0 in
   let sweep = sweep_number t in
-  Array.iteri
-    (fun ci hits_per_page ->
-      let chunk = chunks.(ci) in
-      Array.iteri
-        (fun pi hits ->
-          emit_sync t
-            (Mark_page { sweep; base = chunk.Parsweep.pages.(pi).Parsweep.base });
-          Array.iter (Shadow.mark t.shadow) hits;
-          swept := !swept + page)
-        hits_per_page)
-    per_chunk;
+  let merge_report, swept =
+    in_stage t Pipeline.Merge (fun () ->
+        let swept = ref 0 in
+        Array.iteri
+          (fun ci hits_per_page ->
+            let chunk = chunks.(ci) in
+            Array.iteri
+              (fun pi hits ->
+                emit_sync t
+                  (Mark_page
+                     { sweep; base = chunk.Parsweep.pages.(pi).Parsweep.base });
+                Array.iter (Shadow.mark t.shadow) hits;
+                swept := !swept + page)
+              hits_per_page)
+          per_chunk;
+        let pages_n = !swept / page in
+        (pages_n, !swept, pages_n * c.Sim.Cost.merge_per_page, !swept))
+  in
   record_par t stats;
-  count t.stats.Stats.Live.swept_bytes !swept;
-  !swept
-
-let mark_all_memory t =
-  if t.config.Config.domains > 1 then mark_all_memory_par t
-  else mark_all_memory_seq t
+  count t.stats.Stats.Live.swept_bytes swept;
+  let mark_pipelined =
+    Parsweep.critical_path_cycles
+      ~single_per_byte:c.Sim.Cost.mark_single_per_byte
+      ~bandwidth_per_byte:bandwidth_cycles_per_byte stats
+  in
+  (swept, [ mark_report; merge_report ], mark_pipelined)
 
 (* All words of a page that lie in the heap *address range*, deduped and
    sorted. The wilderness is deliberately not consulted here: it grows
@@ -336,61 +400,22 @@ let summarize_page bytes =
   | [] -> [||]
   | l -> Array.of_list (List.sort_uniq compare l)
 
-(* Incremental marking phase: rescan only pages written (or zeroed,
-   decommitted, protected, remapped) since their summary was captured;
-   replay the cached summary for the rest. The summary table is rebuilt
-   from scratch each sweep so entries for unmapped pages fall away.
-   Returns [(rescanned_bytes, replayed_targets)] for the cost model. *)
-let mark_incremental_seq t =
-  Shadow.clear t.shadow;
-  let m = mem t in
-  let gen = Vmem.advance_generation m in
-  let wilderness = B.wilderness t.je in
-  let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
-  let rescanned = ref 0 and replayed = ref 0 in
-  let skipped_pages = ref 0 and rescanned_pages = ref 0 in
-  let sweep = sweep_number t in
-  Vmem.iter_readable_pages_gen m (fun base bytes ~write_gen ->
-      emit_sync t (Mark_page { sweep; base });
-      let index = base / page in
-      match Hashtbl.find_opt t.summaries index with
-      | Some s when write_gen < s.gen ->
-        (* Untouched since capture: the cached targets are exactly what a
-           rescan would find. *)
-        Array.iter
-          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
-          s.targets;
-        replayed := !replayed + Array.length s.targets;
-        incr skipped_pages;
-        Hashtbl.replace fresh index { gen; targets = s.targets }
-      | Some _ | None ->
-        let targets = summarize_page bytes in
-        Array.iter
-          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
-          targets;
-        rescanned := !rescanned + page;
-        incr rescanned_pages;
-        Hashtbl.replace fresh index { gen; targets });
-  t.summaries <- fresh;
-  count t.stats.Stats.Live.swept_bytes !rescanned;
-  count t.stats.Stats.Live.sweep_pages_skipped !skipped_pages;
-  count t.stats.Stats.Live.sweep_pages_rescanned !rescanned_pages;
-  R.Gauge.set t.stats.Stats.Live.summary_cache_bytes
-    (Hashtbl.fold
-       (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
-       fresh 0);
-  (!rescanned, !replayed)
-
-(* Parallel incremental marking. The summary table is not domain-safe,
+(* Incremental marking as a Mark/Merge stage pair, unified over every
+   domain count: rescan only pages written (or zeroed, decommitted,
+   protected, remapped) since their summary was captured; replay the
+   cached summary for the rest. The summary table is not domain-safe,
    so the coordinator classifies every page (replay vs rescan) against
-   it up front and ships only the rescan pages to the worker pool, which
-   runs [summarize_page] — the expensive part — on private buffers. The
-   merge then walks the full canonical snapshot exactly like the
-   sequential path: replayed pages take their cached targets, rescanned
-   pages take the worker-produced summary, and every counter, gauge and
-   Mark_page event comes out identical. *)
-let mark_incremental_par t =
+   it up front; the Mark stage ships only the rescan pages to the
+   workers, which run [summarize_page] — the expensive part — on
+   private buffers. The Merge stage then walks the full canonical
+   snapshot: replayed pages take their cached targets, rescanned pages
+   the worker-produced summary, and the table is rebuilt from scratch so
+   entries for unmapped pages fall away. Every counter, gauge and
+   Mark_page event is identical at any domain count. Returns
+   [(rescanned_bytes, replayed_targets, stage_reports, mark_pipelined)]. *)
+let run_incremental t =
   Shadow.clear t.shadow;
+  let c = cost t in
   let m = mem t in
   let gen = Vmem.advance_generation m in
   let wilderness = B.wilderness t.je in
@@ -409,13 +434,21 @@ let mark_incremental_par t =
          (Array.to_list snapshot))
   in
   let chunks = Parsweep.shard rescan_pages in
-  let scan (c : Parsweep.chunk) =
+  let scan (ch : Parsweep.chunk) =
     Array.map
       (fun (p : Parsweep.page) -> summarize_page p.Parsweep.bytes)
-      c.Parsweep.pages
+      ch.Parsweep.pages
   in
-  let per_chunk, stats =
-    Parsweep.map_chunks ~domains:t.config.Config.domains ~scan chunks
+  let mark_report, (per_chunk, stats) =
+    in_stage t Pipeline.Mark (fun () ->
+        let per_chunk, stats =
+          Parsweep.map_chunks ~domains:(Config.domains t.config) ~scan chunks
+        in
+        let bytes = stats.Parsweep.total_bytes in
+        ( Array.length rescan_pages,
+          bytes,
+          Sim.Cost.bytes_cost c.Sim.Cost.mark_single_per_byte bytes,
+          (per_chunk, stats) ))
   in
   let fresh_targets = Hashtbl.create (max 64 (Array.length rescan_pages)) in
   Array.iteri
@@ -427,49 +460,60 @@ let mark_incremental_par t =
             targets)
         targets_per_page)
     per_chunk;
-  let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
-  let rescanned = ref 0 and replayed = ref 0 in
-  let skipped_pages = ref 0 and rescanned_pages = ref 0 in
   let sweep = sweep_number t in
-  Array.iter
-    (fun (base, _bytes, write_gen) ->
-      emit_sync t (Mark_page { sweep; base });
-      let index = base / page in
-      match Hashtbl.find_opt t.summaries index with
-      | Some s when write_gen < s.gen ->
+  let merge_report, (rescanned, replayed) =
+    in_stage t Pipeline.Merge (fun () ->
+        let fresh = Hashtbl.create (max 64 (Hashtbl.length t.summaries)) in
+        let rescanned = ref 0 and replayed = ref 0 in
+        let skipped_pages = ref 0 and rescanned_pages = ref 0 in
         Array.iter
-          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
-          s.targets;
-        replayed := !replayed + Array.length s.targets;
-        incr skipped_pages;
-        Hashtbl.replace fresh index { gen; targets = s.targets }
-      | Some _ | None ->
-        let targets =
-          match Hashtbl.find_opt fresh_targets index with
-          | Some targets -> targets
-          | None -> assert false
-        in
-        Array.iter
-          (fun v -> if v < wilderness then Shadow.mark t.shadow v)
-          targets;
-        rescanned := !rescanned + page;
-        incr rescanned_pages;
-        Hashtbl.replace fresh index { gen; targets })
-    snapshot;
+          (fun (base, _bytes, write_gen) ->
+            emit_sync t (Mark_page { sweep; base });
+            let index = base / page in
+            match Hashtbl.find_opt t.summaries index with
+            | Some s when write_gen < s.gen ->
+              (* Untouched since capture: the cached targets are exactly
+                 what a rescan would find. *)
+              Array.iter
+                (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+                s.targets;
+              replayed := !replayed + Array.length s.targets;
+              incr skipped_pages;
+              Hashtbl.replace fresh index { gen; targets = s.targets }
+            | Some _ | None ->
+              let targets =
+                match Hashtbl.find_opt fresh_targets index with
+                | Some targets -> targets
+                | None -> assert false
+              in
+              Array.iter
+                (fun v -> if v < wilderness then Shadow.mark t.shadow v)
+                targets;
+              rescanned := !rescanned + page;
+              incr rescanned_pages;
+              Hashtbl.replace fresh index { gen; targets })
+          snapshot;
+        t.summaries <- fresh;
+        count t.stats.Stats.Live.swept_bytes !rescanned;
+        count t.stats.Stats.Live.sweep_pages_skipped !skipped_pages;
+        count t.stats.Stats.Live.sweep_pages_rescanned !rescanned_pages;
+        R.Gauge.set t.stats.Stats.Live.summary_cache_bytes
+          (Hashtbl.fold
+             (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
+             fresh 0);
+        let pages_n = Array.length snapshot in
+        ( pages_n,
+          !rescanned,
+          pages_n * c.Sim.Cost.merge_per_page,
+          (!rescanned, !replayed) ))
+  in
   record_par t stats;
-  t.summaries <- fresh;
-  count t.stats.Stats.Live.swept_bytes !rescanned;
-  count t.stats.Stats.Live.sweep_pages_skipped !skipped_pages;
-  count t.stats.Stats.Live.sweep_pages_rescanned !rescanned_pages;
-  R.Gauge.set t.stats.Stats.Live.summary_cache_bytes
-    (Hashtbl.fold
-       (fun _ s acc -> acc + (3 * word) + (Array.length s.targets * word))
-       fresh 0);
-  (!rescanned, !replayed)
-
-let mark_incremental t =
-  if t.config.Config.domains > 1 then mark_incremental_par t
-  else mark_incremental_seq t
+  let mark_pipelined =
+    Parsweep.critical_path_cycles
+      ~single_per_byte:c.Sim.Cost.mark_single_per_byte
+      ~bandwidth_per_byte:bandwidth_cycles_per_byte stats
+  in
+  (rescanned, replayed, [ mark_report; merge_report ], mark_pipelined)
 
 (* Audit-only reference marks: build the mark set each strategy would
    produce right now into a scratch shadow, charging no simulated cost
@@ -562,10 +606,33 @@ let sweep_sink t =
 
 let log_event t event = Event_log.record t.log ~now:(now t) event
 
+(* Fold a finished sweep's outcome into the [sweep.stage.*] telemetry
+   and publish it as [last_outcome]. *)
+let publish_outcome t (o : Pipeline.outcome) =
+  let so = t.stage_obs in
+  List.iter
+    (fun (r : Pipeline.stage_report) ->
+      let ctr =
+        match r.Pipeline.stage with
+        | Pipeline.Mark -> so.st_mark_cycles
+        | Pipeline.Merge -> so.st_merge_cycles
+        | Pipeline.Release -> so.st_release_cycles
+        | Pipeline.Purge -> so.st_purge_cycles
+      in
+      count ctr r.Pipeline.cycles)
+    o.Pipeline.reports;
+  count so.st_seq_cycles o.Pipeline.sequential_cycles;
+  count so.st_pipe_cycles o.Pipeline.pipelined_cycles;
+  count so.st_batches
+    (Pipeline.batches o.Pipeline.plan ~entries:o.Pipeline.entries);
+  count so.st_flush_batches o.Pipeline.flush_batches;
+  t.last_outcome <- Some o
+
 let finish_sweep t state =
+  let plan = state.plan in
   (* Mostly concurrent mode: brief stop-the-world re-scan of the pages
      written during the sweep, so moved dangling pointers are seen. *)
-  if t.config.Config.sweeping && stop_the_world_of t then begin
+  if t.config.Config.sweeping && plan.Pipeline.stop_the_world then begin
     let c = cost t in
     emit_sync t (Stw_fence { sweep = sweep_number t });
     let pending = Ring.enter ~now:(now t) Ring.Scan "stw-rescan" in
@@ -579,7 +646,7 @@ let finish_sweep t state =
     count t.stats.Stats.Live.stw_rescanned_bytes dirty_bytes;
     let scan_cycles = Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte dirty_bytes in
     let pause =
-      c.Sim.Cost.stw_signal + (scan_cycles / (helpers_of t + 1))
+      c.Sim.Cost.stw_signal + (scan_cycles / (plan.Pipeline.helpers + 1))
     in
     Sim.Clock.stall t.machine.Alloc.Machine.clock pause;
     Sim.Clock.background t.machine.Alloc.Machine.clock scan_cycles;
@@ -590,19 +657,45 @@ let finish_sweep t state =
       ();
     log_event t (Event_log.Stop_the_world { cycles = pause })
   end;
+  let c = cost t in
   let released_before = R.Counter.value t.stats.Stats.Live.releases in
   let failed_before = R.Counter.value t.stats.Stats.Live.failed_frees in
   let released_bytes_before = R.Counter.value t.stats.Stats.Live.released_bytes in
   let pending = Ring.enter ~now:(now t) Ring.Quarantine "release" in
-  Alloc.Machine.with_sink t.machine (sweep_sink t) (fun () ->
-      release_all t state.entries;
-      if t.config.Config.purging then begin
-        let p = Ring.enter ~now:(now t) Ring.Purge "purge" in
-        B.purge_all t.je;
-        Ring.exit t.ring p ~now:(now t)
-          ~attrs:[ ("sweep", sweep_number t) ]
-          ()
-      end);
+  let release_report, () =
+    in_stage t Pipeline.Release (fun () ->
+        Alloc.Machine.with_sink t.machine (sweep_sink t) (fun () ->
+            release_all t state.entries);
+        let entries_n = List.length state.entries in
+        let bytes =
+          R.Counter.value t.stats.Stats.Live.released_bytes
+          - released_bytes_before
+        in
+        (entries_n, bytes, entries_n * c.Sim.Cost.release_per_entry, ()))
+  in
+  let purge_reports =
+    if List.mem Pipeline.Purge plan.Pipeline.stages then begin
+      let report, () =
+        in_stage t Pipeline.Purge (fun () ->
+            t.purge_decommits <- 0;
+            t.purge_decommit_bytes <- 0;
+            t.purging_now <- true;
+            Alloc.Machine.with_sink t.machine (sweep_sink t) (fun () ->
+                let p = Ring.enter ~now:(now t) Ring.Purge "purge" in
+                B.purge_all t.je;
+                Ring.exit t.ring p ~now:(now t)
+                  ~attrs:[ ("sweep", sweep_number t) ]
+                  ());
+            t.purging_now <- false;
+            ( t.purge_decommits,
+              t.purge_decommit_bytes,
+              t.purge_decommits * c.Sim.Cost.syscall,
+              () ))
+      in
+      [ report ]
+    end
+    else []
+  in
   let released = R.Counter.value t.stats.Stats.Live.releases - released_before in
   let failed = R.Counter.value t.stats.Stats.Live.failed_frees - failed_before in
   Ring.exit t.ring pending ~now:(now t)
@@ -613,11 +706,32 @@ let finish_sweep t state =
     ();
   log_event t
     (Event_log.Sweep_finished { sweep = sweep_number t; released; failed });
+  let entries_n = List.length state.entries in
+  let reports = state.head_reports @ (release_report :: purge_reports) in
+  let sequential_cycles, pipelined_cycles =
+    Pipeline.modeled_cycles plan
+      ~batches:(Pipeline.batches plan ~entries:entries_n)
+      ~mark_pipelined:state.mark_pipelined reports
+  in
+  publish_outcome t
+    {
+      Pipeline.sweep = sweep_number t;
+      plan;
+      scanned_bytes = state.scanned_bytes;
+      replayed_words = state.replayed_words;
+      entries = entries_n;
+      released;
+      requeued = (if t.config.Config.keep_failed then failed else 0);
+      flush_batches = state.flush_batches;
+      reports;
+      sequential_cycles;
+      pipelined_cycles;
+    };
   t.sweep <- None;
   emit_sync t (Sweep_completed { sweep = sweep_number t });
   match t.post_sweep_hook with None -> () | Some hook -> hook ()
 
-let start_sweep t =
+let start_sweep_plan t (plan : Pipeline.plan) =
   count t.stats.Stats.Live.sweeps 1;
   log_event t
     (Event_log.Sweep_started
@@ -625,10 +739,16 @@ let start_sweep t =
          sweep = sweep_number t;
          quarantined_bytes = Quarantine.total_bytes t.quarantine;
        });
+  (* Batched quarantine flush: drain every thread buffer into the global
+     list taking the lock once per [flush_batch] entries, so the lock-in
+     below sees the complete set at amortised per-entry cost. *)
+  let flush_batches =
+    Quarantine.flush_batch t.quarantine ~batch:plan.Pipeline.flush_batch
+  in
   let entries = Quarantine.lock_in t.quarantine in
   emit_sync t
     (Sweep_locked { sweep = sweep_number t; entries = List.length entries });
-  if stop_the_world_of t then Vmem.clear_soft_dirty (mem t);
+  if plan.Pipeline.stop_the_world then Vmem.clear_soft_dirty (mem t);
   let c = cost t in
   let sink = sweep_sink t in
   let busy = ref 0 in
@@ -637,28 +757,36 @@ let start_sweep t =
      mode reads rescanned pages plus the cached summaries it replays,
      not the whole readable footprint. *)
   let scanned_bytes = ref 0 in
-  if t.config.Config.sweeping then begin
+  let replayed_words = ref 0 in
+  let head_reports = ref [] in
+  let mark_pipelined = ref 0 in
+  if List.mem Pipeline.Mark plan.Pipeline.stages then begin
     (* The mark span's [bytes] carries exactly what this phase charged to
        [swept_bytes]: summing mark + scan spans reproduces the counter. *)
-    (match t.config.Config.sweep_mode with
+    (match plan.Pipeline.mode with
     | Config.Full_scan ->
       let pending = Ring.enter ~now:(now t) Ring.Mark "mark-full" in
-      let swept =
-        Alloc.Machine.with_sink t.machine sink (fun () -> mark_all_memory t)
+      let swept, reports, mp =
+        Alloc.Machine.with_sink t.machine sink (fun () -> run_full_scan t)
       in
       Ring.exit t.ring pending ~now:(now t) ~bytes:swept
         ~attrs:[ ("sweep", sweep_number t) ]
         ();
-      scanned_bytes := swept
+      scanned_bytes := swept;
+      head_reports := reports;
+      mark_pipelined := mp
     | Config.Incremental ->
       let pending = Ring.enter ~now:(now t) Ring.Mark "mark-incremental" in
-      let rescanned, replayed =
-        Alloc.Machine.with_sink t.machine sink (fun () -> mark_incremental t)
+      let rescanned, replayed, reports, mp =
+        Alloc.Machine.with_sink t.machine sink (fun () -> run_incremental t)
       in
       Ring.exit t.ring pending ~now:(now t) ~bytes:rescanned
         ~attrs:[ ("sweep", sweep_number t); ("replayed_words", replayed) ]
         ();
-      scanned_bytes := rescanned + (replayed * word));
+      scanned_bytes := rescanned + (replayed * word);
+      replayed_words := replayed;
+      head_reports := reports;
+      mark_pipelined := mp);
     R.Histogram.observe t.scan_hist !scanned_bytes;
     busy := Sim.Cost.bytes_cost c.Sim.Cost.sweep_per_byte !scanned_bytes
   end;
@@ -668,20 +796,81 @@ let start_sweep t =
   (* The release phase charges itself per entry in [release_all]; the
      wall-clock duration below accounts for it via the same estimate. *)
   let release_estimate = List.length entries * c.Sim.Cost.release_per_entry in
+  let state completion =
+    {
+      entries;
+      completion;
+      started = now t;
+      plan;
+      scanned_bytes = !scanned_bytes;
+      replayed_words = !replayed_words;
+      flush_batches;
+      head_reports = !head_reports;
+      mark_pipelined = !mark_pipelined;
+    }
+  in
   match t.config.Config.concurrency with
   | Config.Sequential ->
     Alloc.Machine.charge t.machine !busy;
-    finish_sweep t { entries; completion = now t; started = now t }
+    finish_sweep t (state (now t))
   | Config.Concurrent { helpers; _ } ->
     Sim.Clock.background t.machine.Alloc.Machine.clock !busy;
     let parallel = (!busy + release_estimate) / (helpers + 1) in
     let floor_cycles =
-      if t.config.Config.sweeping then
+      if List.mem Pipeline.Mark plan.Pipeline.stages then
         Sim.Cost.bytes_cost bandwidth_cycles_per_byte !scanned_bytes
       else 0
     in
     let duration = max parallel floor_cycles in
-    t.sweep <- Some { entries; completion = now t + duration; started = now t }
+    t.sweep <- Some (state (now t + duration))
+
+let start_sweep t = start_sweep_plan t (Pipeline.plan_of_config t.config)
+
+(* Execute one complete sweep cycle under [plan], synchronously, and
+   return its outcome — the [Sweep.run] entry point. A plan without a
+   Release stage (see {!Pipeline.mark_only}) runs just the Mark/Merge
+   stages: no quarantine flush or lock-in, no release decisions, no
+   sweep counted and no simulated cost charged — the semantics of the
+   deprecated [mark_all_memory]/[mark_incremental] entry points. *)
+let run_pipeline t (plan : Pipeline.plan) =
+  if not (List.mem Pipeline.Release plan.Pipeline.stages) then begin
+    let scanned_bytes, replayed_words, reports, mark_pipelined =
+      match plan.Pipeline.mode with
+      | Config.Full_scan ->
+        let swept, reports, mp = run_full_scan t in
+        (swept, 0, reports, mp)
+      | Config.Incremental ->
+        let rescanned, replayed, reports, mp = run_incremental t in
+        (rescanned + (replayed * word), replayed, reports, mp)
+    in
+    let sequential_cycles, pipelined_cycles =
+      Pipeline.modeled_cycles plan ~batches:1 ~mark_pipelined reports
+    in
+    let outcome =
+      {
+        Pipeline.sweep = sweep_number t;
+        plan;
+        scanned_bytes;
+        replayed_words;
+        entries = 0;
+        released = 0;
+        requeued = 0;
+        flush_batches = 0;
+        reports;
+        sequential_cycles;
+        pipelined_cycles;
+      }
+    in
+    publish_outcome t outcome;
+    outcome
+  end
+  else begin
+    if t.sweep = None then start_sweep_plan t plan;
+    (match t.sweep with
+    | Some state -> finish_sweep t state
+    | None -> ());
+    match t.last_outcome with Some o -> o | None -> assert false
+  end
 
 let trigger_due t =
   let q = t.quarantine in
@@ -952,6 +1141,37 @@ let force_sweep t =
     start_sweep t;
     true
   end
+
+(* ------------------------------------------------------------------ *)
+(* The sweep pipeline API                                              *)
+
+module Sweep = struct
+  let plan t = Pipeline.plan_of_config t.config
+  let run = run_pipeline
+  let last t = t.last_outcome
+end
+
+(* Deprecated shims over the pipeline; see instance_intf.ml. *)
+
+let mark_all_memory t =
+  let plan =
+    {
+      (Pipeline.mark_only (Pipeline.plan_of_config t.config)) with
+      Pipeline.mode = Config.Full_scan;
+    }
+  in
+  (run_pipeline t plan).Pipeline.scanned_bytes
+
+let mark_incremental t =
+  let plan =
+    {
+      (Pipeline.mark_only (Pipeline.plan_of_config t.config)) with
+      Pipeline.mode = Config.Incremental;
+    }
+  in
+  let o = run_pipeline t plan in
+  ( o.Pipeline.scanned_bytes - (o.Pipeline.replayed_words * word),
+    o.Pipeline.replayed_words )
 end
 
 include Make (Alloc.Backends.Jemalloc_backend)

@@ -32,6 +32,11 @@ type sweep_event =
       (** The quarantine working set was locked in; [entries] is its
           size (the per-entry detail arrives via
           {!Quarantine.set_observer}'s [Locked_in]). *)
+  | Stage_boundary of { sweep : int; stage : Pipeline.stage; enter : bool }
+      (** The sweep pipeline entered ([enter = true]) or exited one of
+          its stages. Boundaries are emitted in the canonical
+          mark → merge → release → purge order within a sweep; the race
+          checker's [rc-stage-order] rule holds every execution to it. *)
   | Mark_page of { sweep : int; base : int }
       (** The marking phase consumed the page at [base] — a fresh read
           under [Full_scan], a read or a generation-checked summary
@@ -108,6 +113,48 @@ module type S = sig
 
   val realloc : t -> ?thread:int -> int -> int -> int
   (** [realloc_result] with errors collapsed to address 0. *)
+
+  (** {1 The sweep pipeline}
+
+      The redesigned sweep API: one typed entry point over the staged
+      mark → merge → release → purge pipeline, replacing the four
+      ad-hoc mark entry points of earlier versions. *)
+
+  module Sweep : sig
+    val plan : t -> Pipeline.plan
+    (** The pipeline plan the instance's configuration derives
+        ({!Pipeline.plan_of_config}): mode × domains × batching plus the
+        stage list implied by the feature toggles. *)
+
+    val run : t -> Pipeline.plan -> Pipeline.outcome
+    (** [run t plan] executes one complete sweep cycle under [plan],
+        synchronously, and returns its outcome. With a Release stage in
+        the plan this is a full sweep — batched quarantine flush,
+        lock-in, mark/merge, release decisions, purge — finished before
+        returning even under concurrent configurations (any sweep
+        already in flight is finished instead of starting a new one).
+        A {!Pipeline.mark_only} plan runs just the Mark/Merge stages
+        into the live shadow map: no lock-in, no release decisions, no
+        sweep counted and no simulated cost charged. Stage boundaries
+        are observable via {!val-set_sync_observer} and the modeled
+        per-stage costs via the [sweep.stage.*] metrics; neither feeds
+        the simulated clock, so outcomes are byte-identical at any
+        domain count. *)
+
+    val last : t -> Pipeline.outcome option
+    (** The most recently completed pipeline outcome (from the
+        background schedule or from [run]), if any. *)
+  end
+
+  val mark_all_memory : t -> int
+  (** @deprecated Shim over {!Sweep.run} with a mark-only [Full_scan]
+      plan; returns the swept bytes. New code should call [Sweep.run]
+      directly. *)
+
+  val mark_incremental : t -> int * int
+  (** @deprecated Shim over {!Sweep.run} with a mark-only [Incremental]
+      plan; returns [(rescanned_bytes, replayed_words)]. New code
+      should call [Sweep.run] directly. *)
 
   val tick : t -> unit
   (** Complete any sweep whose scheduled completion time has passed, and

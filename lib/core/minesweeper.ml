@@ -6,6 +6,7 @@
 
     - {!Instance} — the drop-in [malloc]/[free] layer itself;
     - {!Config} — operation modes, optimisation levels, thresholds;
+    - {!Pipeline} — sweep stage descriptors, plans and outcomes;
     - {!Shadow} — the per-granule mark bitmap used by sweeps;
     - {!Quarantine} — the delayed-free list with thread-local buffers;
     - {!Stats} — counters published by a running instance.
@@ -20,6 +21,7 @@
     ]} *)
 
 module Config = Config
+module Pipeline = Pipeline
 module Shadow = Shadow
 module Stats = Stats
 module Quarantine = Quarantine

@@ -42,6 +42,17 @@ val push : t -> thread:int -> entry -> unit
 val flush_thread : t -> thread:int -> unit
 val flush_all : t -> unit
 
+val flush_batch : t -> batch:int -> int
+(** Flush every thread buffer to the global list taking the lock once
+    per [batch] entries (clamped to at least 1) instead of once per
+    entry: the cycle charge is
+    [batches * quarantine_flush_lock
+     + entries * quarantine_flush_batch_per_entry].
+    The resulting fresh-list order, the emitted [Flushed] events and the
+    byte accounting are identical to {!flush_all} — only the modeled
+    lock cost changes. Returns the number of batches (0 when all
+    buffers were empty). *)
+
 val lock_in : t -> entry list
 (** Take everything (fresh and previously failed, buffers included) as
     the working set of a starting sweep; subsequent pushes accumulate for

@@ -6,6 +6,7 @@ type phase =
   | Alloc_slow
   | Race
   | Request
+  | Stage
 
 let phase_name = function
   | Mark -> "mark"
@@ -15,6 +16,7 @@ let phase_name = function
   | Alloc_slow -> "alloc_slow"
   | Race -> "race"
   | Request -> "request"
+  | Stage -> "stage"
 
 let phase_of_name = function
   | "mark" -> Some Mark
@@ -24,6 +26,7 @@ let phase_of_name = function
   | "alloc_slow" -> Some Alloc_slow
   | "race" -> Some Race
   | "request" -> Some Request
+  | "stage" -> Some Stage
   | _ -> None
 
 type span = {

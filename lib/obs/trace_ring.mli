@@ -16,6 +16,7 @@ type phase =
   | Alloc_slow  (** allocation slow path (allocation pauses) *)
   | Race  (** race-checker window: lock-in to sweep completion, and detected race spans *)
   | Request  (** server-family request processing (slow-request spans) *)
+  | Stage  (** sweep-pipeline stage execution (mark/merge/release/purge) *)
 
 val phase_name : phase -> string
 val phase_of_name : string -> phase option

@@ -90,6 +90,34 @@ let map_chunks ~domains ~scan chunks =
     { domains = d; chunks = n; total_bytes; stolen = Atomic.get stolen;
       seeded_bytes } )
 
+(* Modeled finish time of a batched stage pipeline: stage [s] of batch
+   [k] may start only when stage [s-1] of the same batch and stage [s]
+   of the previous batch have both finished. Each stage's total cycles
+   are split across batches with the remainder spread deterministically
+   (integer prefix shares), so the projection is a pure function of the
+   stage totals. One domain (or one batch) degenerates to the sequential
+   sum — there is nobody to overlap with. *)
+let pipeline_cycles ~domains ~batches stage_cycles =
+  let stages = Array.length stage_cycles in
+  let total = Array.fold_left ( + ) 0 stage_cycles in
+  if stages = 0 then 0
+  else if domains <= 1 || batches <= 1 then total
+  else begin
+    let b = batches in
+    let share s k =
+      let c = stage_cycles.(s) in
+      (c * (k + 1) / b) - (c * k / b)
+    in
+    let finish = Array.make stages 0 in
+    for k = 0 to b - 1 do
+      for s = 0 to stages - 1 do
+        let prev_stage = if s = 0 then 0 else finish.(s - 1) in
+        finish.(s) <- max prev_stage finish.(s) + share s k
+      done
+    done;
+    min total finish.(stages - 1)
+  end
+
 let critical_path_cycles ~single_per_byte ~bandwidth_per_byte stats =
   let slowest =
     Array.fold_left

@@ -26,9 +26,10 @@
       any steal schedule.
 
     The engine is policy-free: it does not know about shadow maps or
-    summaries. [Instance.mark] passes a [scan] that collects candidate
-    quarantine hits; [Instance.mark_incremental] passes one that builds
-    per-page pointer summaries for the pages classified for rescan. *)
+    summaries. The sweep pipeline's Mark stage ([Instance.Sweep.run])
+    passes a [scan] that collects candidate quarantine hits in full-scan
+    mode, or one that builds per-page pointer summaries for the pages
+    classified for rescan in incremental mode. *)
 
 type page = {
   base : int;  (** page base address *)
@@ -80,6 +81,21 @@ val map_chunks :
     [scan] must be pure up to its private result (it runs off the
     coordinator domain, concurrently with other chunks' scans).
     [domains <= 1] runs inline on the caller with no spawns. *)
+
+val pipeline_cycles : domains:int -> batches:int -> int array -> int
+(** [pipeline_cycles ~domains ~batches stage_cycles] is the modeled
+    finish time of running the given per-stage cycle totals as a
+    software pipeline over [batches] work batches: stage [s] of batch
+    [k] starts when stage [s-1] of batch [k] and stage [s] of batch
+    [k-1] are both done, so independent stages of different batches
+    overlap. Stage totals are split across batches by deterministic
+    integer prefix shares (they sum exactly). With [domains <= 1] or
+    [batches <= 1] there is nothing to overlap with and the result is
+    the sequential sum of [stage_cycles]; the result never exceeds that
+    sum. A pure projection of the stage totals — like
+    {!critical_path_cycles} it feeds telemetry only and never the
+    simulated clock, so exports stay byte-identical across domain
+    counts. *)
 
 val critical_path_cycles :
   single_per_byte:float -> bandwidth_per_byte:float -> stats -> int

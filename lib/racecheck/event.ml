@@ -31,6 +31,7 @@ type kind =
   | Requeue of { sweep : int; addr : int }
   | Sweep_done of { sweep : int }
   | Serve of { addr : int; usable : int }
+  | Stage of { sweep : int; stage : string; enter : bool }
 
 type t = {
   seq : int;
@@ -56,6 +57,9 @@ let kind_to_string = function
   | Requeue { sweep; addr } -> Printf.sprintf "requeue(sweep %d, %#x)" sweep addr
   | Sweep_done { sweep } -> Printf.sprintf "sweep-done(%d)" sweep
   | Serve { addr; usable } -> Printf.sprintf "serve(%#x+%d)" addr usable
+  | Stage { sweep; stage; enter } ->
+    Printf.sprintf "stage-%s(sweep %d, %s)" (if enter then "enter" else "exit")
+      sweep stage
 
 (* Compact, clock-free rendering: two schedules with equal signatures
    executed the same synchronization history. *)
@@ -76,6 +80,8 @@ let kind_signature = function
   | Requeue { sweep; addr } -> Printf.sprintf "Q%d:%x" sweep addr
   | Sweep_done { sweep } -> Printf.sprintf "D%d" sweep
   | Serve { addr; usable } -> Printf.sprintf "S%x+%d" addr usable
+  | Stage { sweep; stage; enter } ->
+    Printf.sprintf "G%d:%s%s" sweep stage (if enter then "+" else "-")
 
 let to_string e =
   Printf.sprintf "#%d %s %s" e.seq (tid_to_string e.tid) (kind_to_string e.kind)

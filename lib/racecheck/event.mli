@@ -49,6 +49,10 @@ type kind =
       (** sweep completed; synchronizes with every mutator (release) *)
   | Serve of { addr : int; usable : int }
       (** the allocator handed out [addr] — must never be quarantined *)
+  | Stage of { sweep : int; stage : string; enter : bool }
+      (** the sweep pipeline crossed a stage boundary ([mark], [merge],
+          [release] or [purge]); {!Hb}'s [rc-stage-order] rule holds
+          these to the canonical order with paired enter/exit *)
 
 type t = {
   seq : int;  (** position in the observed total order *)

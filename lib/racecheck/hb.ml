@@ -15,7 +15,20 @@ let rules =
     ( "rc-reuse-quarantined",
       "allocator served an address that is still quarantined: the free \
        interposition was bypassed" );
+    ( "rc-stage-order",
+      "sweep-pipeline stage boundary out of canonical order: a stage \
+       entered while another was still open, re-opened after a later stage \
+       completed, or exited without a matching enter" );
   ]
+
+(* Canonical pipeline stage order (Pipeline.stage_index, kept local so
+   the checker does not depend on the core library's types). *)
+let stage_order = function
+  | "mark" -> 0
+  | "merge" -> 1
+  | "release" -> 2
+  | "purge" -> 3
+  | _ -> -1
 
 (* An event together with the clock it executed at. *)
 type stamped = {
@@ -66,6 +79,10 @@ let analyze ~threads (events : Event.t list) =
   in
   (* Ground truth for the reuse rule: pushed and not yet released. *)
   let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Stage-boundary protocol state, per sweep: the currently open stage
+     and the highest stage index already exited. *)
+  let stage_cur : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let stage_max : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let window = ref None in
   let close_window (w : window) done_seq =
     (* Hidden writes survive if the mark read of their page saw them
@@ -227,6 +244,50 @@ let analyze ~threads (events : Event.t list) =
           close_window w st.seq;
           window := None
         | None -> ())
+      | Event.Stage { sweep; stage; enter } ->
+        let idx = stage_order stage in
+        let max_done =
+          Option.value ~default:(-1) (Hashtbl.find_opt stage_max sweep)
+        in
+        if idx < 0 then
+          report ~rule:"rc-stage-order" ~op_index:st.seq
+            (Printf.sprintf "sweep %d: unknown pipeline stage %S (event #%d)"
+               sweep stage st.seq)
+        else if enter then begin
+          (match Hashtbl.find_opt stage_cur sweep with
+          | Some open_stage ->
+            report ~rule:"rc-stage-order" ~op_index:st.seq
+              (Printf.sprintf
+                 "sweep %d: stage %s entered (event #%d, clock %s) while \
+                  stage %s is still open"
+                 sweep stage st.seq (Vclock.to_string st.clock) open_stage)
+          | None -> ());
+          if idx < max_done then
+            report ~rule:"rc-stage-order" ~op_index:st.seq
+              (Printf.sprintf
+                 "sweep %d: stage %s entered (event #%d, clock %s) after a \
+                  later stage already completed — the pipeline ran backwards"
+                 sweep stage st.seq (Vclock.to_string st.clock));
+          Hashtbl.replace stage_cur sweep stage
+        end
+        else begin
+          (match Hashtbl.find_opt stage_cur sweep with
+          | Some open_stage when open_stage = stage ->
+            Hashtbl.remove stage_cur sweep
+          | Some open_stage ->
+            report ~rule:"rc-stage-order" ~op_index:st.seq
+              (Printf.sprintf
+                 "sweep %d: stage %s exited (event #%d) while stage %s is \
+                  the open one"
+                 sweep stage st.seq open_stage)
+          | None ->
+            report ~rule:"rc-stage-order" ~op_index:st.seq
+              (Printf.sprintf
+                 "sweep %d: stage %s exited (event #%d) without a matching \
+                  enter"
+                 sweep stage st.seq));
+          Hashtbl.replace stage_max sweep (max max_done idx)
+        end
       | Event.Flush _ -> ())
     events;
   (* A run truncated mid-sweep is not judged for lost entries: the

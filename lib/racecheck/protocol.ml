@@ -25,21 +25,36 @@ let stream ?mutation () =
   emit m0 (Event.Push { raw_thread = 0; addr = a1; usable = 64 });
   emit m0 (Event.Flush { thread = 0 });
   emit Event.Sweeper (Event.Lock_in { sweep = 1; entries = [ (a1, 64) ] });
+  (* Pipeline stage boundaries, in canonical order for every stream
+     except the reordering mutant. *)
+  let stage sweep name enter =
+    emit Event.Sweeper (Event.Stage { sweep; stage = name; enter })
+  in
+  stage 1 "mark" true;
   emit Event.Sweeper (Event.Mark_read { sweep = 1; base = rp });
   (match mutation with
   | Some Corpus.Release_before_mark_done ->
     (* The mutant recycles a1 while the mark is still running. *)
     emit Event.Sweeper (Event.Release { sweep = 1; addr = a1 })
+  | Some Corpus.Reorder_stage_boundaries ->
+    (* The pipelined mutant opens its Release stage while the Mark
+       stage is still running. *)
+    stage 1 "release" true
   | _ -> ());
   emit m1 (Event.Write { addr = slot1; value = a1; gen = 1 });
   emit Event.Sweeper (Event.Mark_read { sweep = 1; base = hp });
   emit Event.Sweeper (Event.Mark_done { sweep = 1 });
+  stage 1 "mark" false;
+  stage 1 "merge" true;
+  stage 1 "merge" false;
   if fenced then begin
     emit Event.Stw (Event.Fence { sweep = 1 });
     emit Event.Stw (Event.Rescan_read { sweep = 1; base = rp })
   end;
+  if mutation <> Some Corpus.Reorder_stage_boundaries then
+    stage 1 "release" true;
   (match mutation with
-  | None ->
+  | None | Some Corpus.Reorder_stage_boundaries ->
     (* The re-scan found the hidden pointer: a1 stays quarantined. *)
     emit Event.Sweeper (Event.Requeue { sweep = 1; addr = a1 })
   | Some Corpus.Skip_stw_fence ->
@@ -48,17 +63,24 @@ let stream ?mutation () =
     emit Event.Sweeper (Event.Release { sweep = 1; addr = a1 })
   | Some Corpus.Release_before_mark_done -> ()
   | Some Corpus.Lose_requeued_entry -> ());
+  stage 1 "release" false;
   emit Event.Sweeper (Event.Sweep_done { sweep = 1 });
   (* Sweep 2: only the well-behaved protocol still holds a1 — the
      mutator clears the published pointer and the retry releases it. *)
   if mutation = None then begin
     emit m1 (Event.Write { addr = slot1; value = 0; gen = 2 });
     emit Event.Sweeper (Event.Lock_in { sweep = 2; entries = [ (a1, 64) ] });
+    stage 2 "mark" true;
     emit Event.Sweeper (Event.Mark_read { sweep = 2; base = rp });
     emit Event.Sweeper (Event.Mark_read { sweep = 2; base = hp });
     emit Event.Sweeper (Event.Mark_done { sweep = 2 });
+    stage 2 "mark" false;
+    stage 2 "merge" true;
+    stage 2 "merge" false;
     emit Event.Stw (Event.Fence { sweep = 2 });
+    stage 2 "release" true;
     emit Event.Sweeper (Event.Release { sweep = 2; addr = a1 });
+    stage 2 "release" false;
     emit Event.Sweeper (Event.Sweep_done { sweep = 2 })
   end;
   List.rev !evs

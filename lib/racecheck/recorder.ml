@@ -90,6 +90,10 @@ let attach ?on_event ms ~threads =
     | Instance.Mark_completed { sweep; scanned_bytes = _ } ->
       emit s Event.Sweeper (Event.Mark_done { sweep })
     | Instance.Stw_fence { sweep } -> emit s Event.Stw (Event.Fence { sweep })
+    | Instance.Stage_boundary { sweep; stage; enter } ->
+      emit s Event.Sweeper
+        (Event.Stage
+           { sweep; stage = Minesweeper.Pipeline.stage_name stage; enter })
     | Instance.Sweep_completed { sweep } ->
       emit s Event.Sweeper (Event.Sweep_done { sweep }));
   Alloc.Jemalloc.set_observer (Instance.jemalloc ms) (function

@@ -47,6 +47,7 @@ type protocol_mutation =
   | Skip_stw_fence
   | Release_before_mark_done
   | Lose_requeued_entry
+  | Reorder_stage_boundaries
 
 type protocol_mutant = {
   mutant_name : string;
@@ -70,6 +71,11 @@ let protocol_mutants =
       mutant_name = "lose-requeued-entry";
       mutation = Lose_requeued_entry;
       expected_race_rules = [ "rc-lost-entry" ];
+    };
+    {
+      mutant_name = "reorder-stage-boundaries";
+      mutation = Reorder_stage_boundaries;
+      expected_race_rules = [ "rc-stage-order" ];
     };
   ]
 

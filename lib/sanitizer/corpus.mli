@@ -46,6 +46,10 @@ type protocol_mutation =
   | Lose_requeued_entry
       (** A blocked entry is dropped instead of requeued: it never
           reaches a later sweep and leaks out of the protocol. *)
+  | Reorder_stage_boundaries
+      (** The pipelined sweep opens its Release stage while the Mark
+          stage is still running: stage boundaries appear out of the
+          canonical mark → merge → release → purge order. *)
 
 type protocol_mutant = {
   mutant_name : string;

@@ -5,6 +5,9 @@ type t = {
   free_slow : int;
   quarantine_push : int;
   quarantine_flush_per_entry : int;
+  quarantine_flush_lock : int;
+  quarantine_flush_batch_per_entry : int;
+  merge_per_page : int;
   zero_per_byte : float;
   sweep_per_byte : float;
   mark_single_per_byte : float;
@@ -42,6 +45,9 @@ let default = {
   free_slow = 90;
   quarantine_push = 10;
   quarantine_flush_per_entry = 6;
+  quarantine_flush_lock = 40;
+  quarantine_flush_batch_per_entry = 2;
+  merge_per_page = 12;
   zero_per_byte = 0.05;
   sweep_per_byte = 0.04;
   mark_single_per_byte = 0.25;

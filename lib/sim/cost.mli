@@ -15,6 +15,15 @@ type t = {
   free_slow : int;  (** slab bookkeeping on tcache flush *)
   quarantine_push : int;  (** append to a thread-local quarantine buffer *)
   quarantine_flush_per_entry : int;  (** move one entry to the global list *)
+  quarantine_flush_lock : int;
+      (** acquire/release of the global quarantine lock, paid once per
+          batched flush ([Quarantine.flush_batch]) instead of per entry *)
+  quarantine_flush_batch_per_entry : int;
+      (** per-entry cost under the batched flush: a splice into the
+          global list with the lock already held *)
+  merge_per_page : int;
+      (** coordinator merge of one scanned page's hit list into the
+          shadow map (the pipeline's Merge stage) *)
   zero_per_byte : float;  (** zero-filling a freed allocation *)
   sweep_per_byte : float;  (** linear streaming sweep (marking phase) *)
   mark_single_per_byte : float;

@@ -26,6 +26,7 @@ type t = {
   mutable demand_commit_hook : pages:int -> unit;
   mutable generation : int; (* current scan generation (see mli) *)
   mutable write_observer : (addr:int -> value:int -> gen:int -> unit) option;
+  mutable decommit_observer : (addr:int -> len:int -> unit) option;
 }
 
 let create () =
@@ -35,6 +36,7 @@ let create () =
     demand_commit_hook = (fun ~pages:_ -> ());
     generation = 0;
     write_observer = None;
+    decommit_observer = None;
   }
 
 let generation t = t.generation
@@ -46,6 +48,8 @@ let advance_generation t =
 let set_demand_commit_hook t f = t.demand_commit_hook <- f
 let set_write_observer t f = t.write_observer <- Some f
 let clear_write_observer t = t.write_observer <- None
+let set_decommit_observer t f = t.decommit_observer <- Some f
+let clear_decommit_observer t = t.decommit_observer <- None
 
 let page_index addr = addr / page_size
 let page_base addr = addr - (addr mod page_size)
@@ -89,6 +93,9 @@ let find_page t addr =
 
 let decommit t ~addr ~len =
   check_page_range addr len;
+  (match t.decommit_observer with
+  | None -> ()
+  | Some f -> f ~addr ~len);
   iter_page_indices ~addr ~len (fun i ->
       let p =
         match Hashtbl.find_opt t.pages i with

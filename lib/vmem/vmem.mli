@@ -52,6 +52,15 @@ val set_write_observer :
 
 val clear_write_observer : t -> unit
 
+val set_decommit_observer : t -> (addr:int -> len:int -> unit) -> unit
+(** Observe every {!decommit} of a page-aligned range, before the backing
+    is dropped. Used by the sweep pipeline's Purge stage to account
+    decommit work (madvise-equivalent syscalls) without the allocator
+    backends needing any extra plumbing; at most one observer is
+    active. *)
+
+val clear_decommit_observer : t -> unit
+
 (** {1 Mapping and physical backing} *)
 
 val map : t -> addr:int -> len:int -> unit

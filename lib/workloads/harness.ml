@@ -151,8 +151,8 @@ let build scheme ~threads machine =
           (* When the parallel marking engine ran (domains > 1), surface
              its telemetry to the experiments layer: the speedup figure
              reads the modeled critical-path cycles from here. *)
+          let reg = Minesweeper.Instance.registry ms in
           let par =
-            let reg = Minesweeper.Instance.registry ms in
             List.filter_map
               (fun name ->
                 match Obs.Registry.read reg ("par." ^ name) with
@@ -160,6 +160,19 @@ let build scheme ~threads machine =
                 | None -> None)
               [ "domains"; "chunks"; "chunks_stolen"; "imbalance";
                 "mark_cycles_est"; "mark_cycles_seq_est" ]
+          in
+          (* The sweep pipeline's per-stage projections (always
+             registered): the pipeline figure reads the modeled
+             sequential vs overlapped cycle totals from here. *)
+          let pipe =
+            List.filter_map
+              (fun name ->
+                match Obs.Registry.read reg ("sweep.stage." ^ name) with
+                | Some v -> Some ("pipe_" ^ name, float_of_int v)
+                | None -> None)
+              [ "mark_cycles_est"; "merge_cycles_est"; "release_cycles_est";
+                "purge_cycles_est"; "seq_cycles_est"; "pipeline_cycles_est";
+                "batches"; "flush_batches" ]
           in
           [
             ("double_frees", float_of_int s.Minesweeper.Stats.double_frees);
@@ -176,7 +189,7 @@ let build scheme ~threads machine =
             ("summary_cache_bytes",
              float_of_int s.Minesweeper.Stats.summary_cache_bytes);
           ]
-          @ par);
+          @ par @ pipe);
     }
   | Mark_us ->
     let mk = Markus.create machine in

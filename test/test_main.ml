@@ -20,6 +20,7 @@ let () =
       Test_instance.suite;
       Test_sweep_equiv.suite;
       Test_parsweep.suite;
+      Test_pipeline.suite;
       Test_realloc.suite;
       Test_event_log.suite;
       Test_markus.suite;

@@ -70,7 +70,7 @@ let test_hb_every_rule_documented () =
         true
         (List.mem_assoc rule Hb.rules))
     Hb.rules;
-  Alcotest.(check int) "four race rules" 4 (List.length Hb.rules)
+  Alcotest.(check int) "five race rules" 5 (List.length Hb.rules)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol emulator and the mutant corpus *)

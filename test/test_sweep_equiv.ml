@@ -109,7 +109,7 @@ let prop_equivalent_decisions =
       let machine_f, ms_f = fresh ~config:sequential () in
       let addrs_f = run_workload ~ops:10_000 machine_f ms_f seed in
       let machine_i, ms_i =
-        fresh ~config:{ sequential with C.sweep_mode = C.Incremental } ()
+        fresh ~config:(C.with_sweep_mode C.Incremental sequential) ()
       in
       let addrs_i = run_workload ~ops:10_000 machine_i ms_i seed in
       let sf = I.stats ms_f and si = I.stats ms_i in
@@ -151,7 +151,7 @@ let test_incremental_sweeps_fewer_bytes () =
   let sequential = { C.default with C.concurrency = C.Sequential } in
   let sweeps_f, swept_f, _ = bytes_swept_under sequential 21 in
   let sweeps_i, swept_i, skipped =
-    bytes_swept_under { sequential with C.sweep_mode = C.Incremental } 21
+    bytes_swept_under (C.with_sweep_mode C.Incremental sequential) 21
   in
   Alcotest.(check int) "same sweeps either way" sweeps_f sweeps_i;
   Alcotest.(check bool) "several sweeps ran" true (sweeps_f > 1);
