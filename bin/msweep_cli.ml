@@ -19,10 +19,12 @@
                                lint traces, audit a differential replay,
                                self-test the lint corpus, race-check
                                recorded synchronization events
-     analyze [-i F] [--policy P] [--json F] [--lockset] [--strict]
+     analyze [-i F] [--policy P] [--json F] [--lockset] [--pools] [--strict]
                                static dataflow analysis of traces: dangling
                                exposure, retention prediction, quarantine
-                               bounds — no replay
+                               bounds — no replay; --pools adds the siteflow
+                               allocation-site pooling plan with static
+                               occupancy/footprint bounds
      explore [--schedules N]   permute sweep boundaries through a fixed
                                mutator script and verify soundness, race
                                freedom and deterministic accounting *)
@@ -68,6 +70,7 @@ let scheme_of_string = function
   | "scudo" -> Workloads.Harness.Scudo_baseline
   | "scudo-minesweeper" | "scudo-ms" ->
     Workloads.Harness.Scudo_sweeper (ms_config "default")
+  | "pooled" -> Workloads.Harness.Pooled None
   | s -> invalid_arg ("unknown scheme " ^ s)
 
 (* --domains overrides the marker-domain count of any MineSweeper-family
@@ -119,7 +122,7 @@ let scheme_arg =
     & info [ "s"; "scheme" ]
         ~doc:
           "Scheme: baseline, minesweeper, mostly, incremental, markus, \
-           ffmalloc")
+           ffmalloc, pooled")
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Trace length scale")
@@ -201,8 +204,33 @@ let bench_cmd =
              — so repeats denoise only the host-side timing that the \
              speedup figures are guarded against.")
   in
-  let f suite bench scheme scale domains repeat metrics_out spans_out =
-    let scheme = apply_domains domains (scheme_of_string scheme) in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ]
+          ~doc:
+            "Override the scheme with a named configuration: $(b,pooled) \
+             (site-keyed pools, identity plan), $(b,pooled-analyzed) \
+             (site-keyed pools driven by a flowcheck siteflow plan derived \
+             from the benchmark's own trace), or a MineSweeper preset name \
+             (default, mostly, incremental, ...)")
+  in
+  let f suite bench scheme scale domains repeat config metrics_out spans_out =
+    let scheme =
+      match config with
+      | None -> scheme_of_string scheme
+      | Some "pooled" -> Workloads.Harness.Pooled None
+      | Some "pooled-analyzed" ->
+        let profile =
+          Workloads.Profile.scale_ops scale (find_profile suite bench)
+        in
+        let trace = Workloads.Trace.generate profile in
+        let plan = Flowcheck.Poolplan.of_trace trace in
+        Workloads.Harness.Pooled (Some (Flowcheck.Poolplan.to_alloc_plan plan))
+      | Some preset -> Workloads.Harness.Mine_sweeper (ms_config preset)
+    in
+    let scheme = apply_domains domains scheme in
     let repeat = max 1 repeat in
     let timed =
       Array.init repeat (fun _ ->
@@ -256,7 +284,7 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const f $ suite_arg $ bench_arg $ scheme_arg $ scale_arg $ domains_arg
-      $ repeat_arg $ metrics_arg $ spans_arg)
+      $ repeat_arg $ config_arg $ metrics_arg $ spans_arg)
 
 let trace_cmd =
   let doc =
@@ -813,7 +841,18 @@ let analyze_cmd =
              sweep-protocol emulator must come back clean and every seeded \
              mutant must raise exactly its expected ls-* rules")
   in
-  let f files policy chunk json lockset strict =
+  let pools_arg =
+    Arg.(
+      value & flag
+      & info [ "pools" ]
+          ~doc:
+            "Also run the siteflow allocation-site pooling analysis: \
+             partition sites into the fewest pools that can never recycle \
+             a danglingly-aliased object, print the plan with its static \
+             occupancy/footprint/retired bounds, and include site and pool \
+             records in the $(b,--json) document (schema v2)")
+  in
+  let f files policy chunk json lockset pools strict =
     let policies =
       match Flowcheck.Policy.of_string policy with
       | Ok ps -> ps
@@ -829,6 +868,16 @@ let analyze_cmd =
         in
         let r = Flowcheck.Report.analyze ~policies stream in
         print_string (Flowcheck.Report.render r);
+        (* Streams are single-shot, so the pooling pass re-opens the
+           file; both passes see the identical chunking. *)
+        let plan =
+          if pools then
+            Some
+              (Flowcheck.Poolplan.of_stream
+                 (Workloads.Trace.stream_of_file ~chunk_ops:(max 1 chunk) file))
+          else None
+        in
+        Option.iter (fun p -> print_string (Flowcheck.Poolplan.render p)) plan;
         List.iter
           (fun (d : Sanitizer.Diagnostic.t) ->
             match d.Sanitizer.Diagnostic.severity with
@@ -836,7 +885,7 @@ let analyze_cmd =
             | Sanitizer.Diagnostic.Warning -> incr warns)
           r.Flowcheck.Report.findings;
         if json <> None then
-          json_lines := Flowcheck.Report.to_json r :: !json_lines)
+          json_lines := Flowcheck.Report.to_json ?pools:plan r :: !json_lines)
       files;
     (match json with
     | Some file ->
@@ -876,7 +925,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const f $ files_arg $ policy_arg $ chunk_arg $ json_arg $ lockset_arg
-      $ strict_arg)
+      $ pools_arg $ strict_arg)
 
 let explore_cmd =
   let doc =

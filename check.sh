@@ -111,12 +111,22 @@ echo "== static dataflow analyzer (flowcheck)"
 _build/default/test/test_main.exe test flowcheck >/dev/null
 echo "flowcheck suite passed"
 
+# The siteflow pooling pass and the pooled backend it drives: exposure
+# lattice, pool-merge optimality, bound math, plan determinism, and the
+# differential Pool_oracle certification (zero unsound recycles under
+# every analyzed plan, including the whole mimalloc-bench suite).
+_build/default/test/test_main.exe test siteflow >/dev/null
+echo "siteflow suite passed"
+_build/default/test/test_main.exe test poolalloc >/dev/null
+echo "poolalloc suite passed"
+
 # `msweep analyze` must be deterministic: two runs over both seeded
-# traces render and export byte-identically.
+# traces (with the pooling pass enabled) render and export
+# byte-identically — this doubles as the pool-plan double-run gate.
 "$CLI" analyze -i "$workdir/espresso.trace" -i "$workdir/perl.trace" \
-  --json "$workdir/flow1.json" --lockset >"$workdir/flow1.txt"
+  --json "$workdir/flow1.json" --lockset --pools >"$workdir/flow1.txt"
 "$CLI" analyze -i "$workdir/espresso.trace" -i "$workdir/perl.trace" \
-  --json "$workdir/flow2.json" --lockset >"$workdir/flow2.txt"
+  --json "$workdir/flow2.json" --lockset --pools >"$workdir/flow2.txt"
 cmp "$workdir/flow1.json" "$workdir/flow2.json" \
   || { echo "FAIL: analyze JSON differs across identical runs" >&2; exit 1; }
 # The rendered report embeds the --json path in its status line; strip
@@ -125,8 +135,14 @@ grep -v '^json ' "$workdir/flow1.txt" >"$workdir/flow1.stripped"
 grep -v '^json ' "$workdir/flow2.txt" >"$workdir/flow2.stripped"
 cmp "$workdir/flow1.stripped" "$workdir/flow2.stripped" \
   || { echo "FAIL: analyze report differs across identical runs" >&2; exit 1; }
-head -1 "$workdir/flow1.json" | grep -q '"schema":"msweep-flowcheck-v1"' \
+head -1 "$workdir/flow1.json" | grep -q '"schema":"msweep-flowcheck-v2"' \
   || { echo "FAIL: missing flowcheck JSON schema header" >&2; exit 1; }
+# --pools must land the site/pool records in the JSON and a rendered
+# plan in the report.
+head -1 "$workdir/flow1.json" | grep -q '"pools":\[' \
+  || { echo "FAIL: --pools exported no pool records" >&2; exit 1; }
+grep -q "pool plan for" "$workdir/flow1.txt" \
+  || { echo "FAIL: --pools rendered no pool plan" >&2; exit 1; }
 # perlbench's dangling rate must be statically visible, with a witness
 # chain, without replaying anything.
 grep -q "flow-dangling" "$workdir/flow1.txt" \
@@ -151,6 +167,20 @@ if grep -q "REGRESSION" "$workdir/staticfig.txt"; then
   exit 1
 fi
 echo "static bounds dominate measured ms.* telemetry on every mimalloc profile"
+
+echo "== bench smoke: pooled backend landscape (siteflow certification)"
+# Every mimalloc-bench profile replayed under its own siteflow-derived
+# pool plan with the differential UAF oracle attached: zero unsound
+# recycles and every static occupancy/footprint/retired bound must
+# dominate the backend's pool telemetry (the figure prints REGRESSION
+# otherwise).
+"$CLI" figures --only pooled-landscape --scale 0.02 >"$workdir/pooledfig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/pooledfig.txt"; then
+  grep "REGRESSION" "$workdir/pooledfig.txt" >&2
+  echo "FAIL: an unsound recycle survived the siteflow plan or a bound under-shot telemetry" >&2
+  exit 1
+fi
+echo "pooled backend certified UAF-free with dominating bounds on every mimalloc profile"
 
 echo "== bench smoke: incremental sweeps fewer bytes than full"
 "$CLI" figures --only incremental-sweep --scale 0.02 >"$workdir/incfig.txt" 2>/dev/null

@@ -32,6 +32,22 @@ module Scudo_backend : Backend.S with type t = Scudo.t = struct
   let purge_all = Scudo.purge_all
 end
 
+module Pool_backend : Backend.S with type t = Poolalloc.t = struct
+  type t = Poolalloc.t
+
+  let name = "poolalloc"
+  let create ?extra_byte machine = Poolalloc.create ?extra_byte machine
+  let malloc = Poolalloc.malloc
+  let free = Poolalloc.free
+  let usable_size = Poolalloc.usable_size
+  let live_bytes = Poolalloc.live_bytes
+  let is_live = Poolalloc.is_live
+  let wilderness = Poolalloc.wilderness
+  let set_extent_hooks = Poolalloc.set_extent_hooks
+  let purge_tick = Poolalloc.purge_tick
+  let purge_all = Poolalloc.purge_all
+end
+
 module Dlmalloc_backend : Backend.S with type t = Dlmalloc.t = struct
   type t = Dlmalloc.t
 

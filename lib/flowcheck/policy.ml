@@ -33,6 +33,11 @@ let jemalloc_usable size =
     Alloc.Size_class.size_of_class (Alloc.Size_class.class_of_size size)
   else Alloc.Size_class.large_pages size * page
 
+(* The pooled backend keeps jemalloc's size rounding exactly (no
+   past-the-end byte: with no quarantine there is no sweep to confuse),
+   so the siteflow demand model and Poolalloc agree byte-for-byte. *)
+let pooled_usable size = jemalloc_usable (max 1 size)
+
 let usable t size =
   match t with
   | Minesweeper _ ->

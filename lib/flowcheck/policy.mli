@@ -35,6 +35,12 @@ val usable : t -> int -> int
 (** Usable bytes backing a request: the policy's own size rounding
     (MineSweeper adds the paper's extra byte before class rounding). *)
 
+val pooled_usable : int -> int
+(** Size rounding of the analysis-driven pooled backend: jemalloc
+    classes with no extra byte (no quarantine, no sweep). {!Siteflow}'s
+    demand model uses exactly this, so the plan's footprint bounds are
+    stated in the same units {!Alloc.Poolalloc} reports. *)
+
 val zeroing : t -> bool
 val shadow_granule : t -> int option
 (** MineSweeper only. *)

@@ -1,0 +1,257 @@
+(* Stage two of the pooling analysis: turn the per-site exposure
+   summaries into a pool partition plus static resource bounds.
+
+   The merge objective is "fewest pools subject to the safety
+   constraint": no pool may recycle a freed object while any site in
+   that pool has a live dangling alias to it. Under the three-level
+   exposure lattice {!Siteflow} computes, the optimum has a closed
+   form:
+
+   - pointer-exposed sites can never recycle, and pools that never
+     recycle can always be merged — one shared retiring pool;
+   - alias-exposed (or wild-exposed) sites may recycle only among
+     objects of their own site (same-site reuse cannot confuse types
+     under the surviving alias) — one singleton recycling pool each;
+   - unexposed sites can all share one recycling pool.
+
+   Pool ids are assigned by first encounter over sites in ascending
+   order, so the partition is a pure function of the summaries. *)
+
+type reason =
+  | Clean  (** no exposed free: shared recycling pool *)
+  | Alias_isolated  (** alias/wild exposure: recycles, but alone *)
+  | Ptr_retired  (** pointer exposure: never recycles *)
+
+let reason_to_string = function
+  | Clean -> "clean"
+  | Alias_isolated -> "alias-isolated"
+  | Ptr_retired -> "ptr-retired"
+
+type pool = {
+  id : int;
+  members : int list;  (** sites, ascending *)
+  recycles : bool;
+  reason : reason;
+  occupancy_bound : int;
+      (** static bound on peak concurrent live usable bytes *)
+  footprint_bound : int;
+      (** static bound on address space the pool ever owns, in whole
+          slabs / page runs *)
+  retired_bound : int;
+      (** static bound on bytes retired forever (0 for recycling pools) *)
+}
+
+type t = {
+  trace_name : string;
+  site_count : int;
+  pool_count : int;
+  pool_of_site : int array;
+  pools : pool list;  (** ascending id *)
+  flow : Siteflow.t;
+}
+
+let page = Vmem.page_size
+
+(* Address-space bound for one site's demand inside a pool. Slab need
+   is sub-additive across sites (ceil(a+b) <= ceil a + ceil b), so
+   summing per-site ceilings dominates the pool's true slab count. *)
+let footprint_of_demand ~use_total demand =
+  List.fold_left
+    (fun acc (key, (peak, total)) ->
+      let n = if use_total then total else peak in
+      match key with
+      | Siteflow.Small cls ->
+        let slots = Alloc.Size_class.slab_slots cls in
+        let slabs = (n + slots - 1) / slots in
+        acc + (slabs * Alloc.Size_class.slab_pages cls * page)
+      | Siteflow.Large pages -> acc + (n * pages * page))
+    0 demand
+
+let classify (s : Siteflow.summary) =
+  if s.Siteflow.ptr_exposed then Ptr_retired
+  else if s.Siteflow.alias_exposed || s.Siteflow.wild_exposed then
+    Alias_isolated
+  else Clean
+
+let build (flow : Siteflow.t) =
+  let sites = flow.Siteflow.sites in
+  let pool_of_site = Array.make sites (-1) in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let shared = ref (-1) and retire = ref (-1) in
+  Array.iter
+    (fun (s : Siteflow.summary) ->
+      let pool =
+        match classify s with
+        | Clean ->
+          if !shared < 0 then shared := fresh ();
+          !shared
+        | Alias_isolated -> fresh ()
+        | Ptr_retired ->
+          if !retire < 0 then retire := fresh ();
+          !retire
+      in
+      pool_of_site.(s.Siteflow.site) <- pool)
+    flow.Siteflow.summaries;
+  let pool_count = max 1 !next in
+  (* Degenerate empty-summary case cannot happen (sites >= 1), but keep
+     the array total: any unassigned site falls into pool 0. *)
+  Array.iteri
+    (fun i p -> if p < 0 then pool_of_site.(i) <- 0)
+    pool_of_site;
+  let members = Array.make pool_count [] in
+  for site = sites - 1 downto 0 do
+    let p = pool_of_site.(site) in
+    members.(p) <- site :: members.(p)
+  done;
+  let pools =
+    List.init pool_count (fun id ->
+        let member_sites = members.(id) in
+        let summaries =
+          List.map (fun s -> flow.Siteflow.summaries.(s)) member_sites
+        in
+        let reason =
+          match summaries with
+          | [] -> Clean
+          | s :: _ -> classify s
+        in
+        let recycles = reason <> Ptr_retired in
+        let occupancy_bound =
+          List.fold_left
+            (fun acc (s : Siteflow.summary) ->
+              acc + s.Siteflow.peak_live_bytes)
+            0 summaries
+        in
+        let footprint_bound =
+          List.fold_left
+            (fun acc (s : Siteflow.summary) ->
+              acc
+              + footprint_of_demand ~use_total:(not recycles)
+                  s.Siteflow.demand)
+            0 summaries
+        in
+        let retired_bound =
+          if recycles then 0
+          else
+            List.fold_left
+              (fun acc (s : Siteflow.summary) ->
+                acc + s.Siteflow.total_freed_bytes)
+              0 summaries
+        in
+        {
+          id;
+          members = member_sites;
+          recycles;
+          reason;
+          occupancy_bound;
+          footprint_bound;
+          retired_bound;
+        })
+  in
+  {
+    trace_name = flow.Siteflow.trace_name;
+    site_count = sites;
+    pool_count;
+    pool_of_site;
+    pools;
+    flow;
+  }
+
+let of_stream stream = build (Siteflow.analyze stream)
+let of_trace trace = build (Siteflow.analyze_trace trace)
+
+let to_alloc_plan t =
+  {
+    Alloc.Poolalloc.sites = t.site_count;
+    pools = t.pool_count;
+    pool_of_site = Array.copy t.pool_of_site;
+    recycles =
+      (let a = Array.make t.pool_count true in
+       List.iter (fun p -> a.(p.id) <- p.recycles) t.pools;
+       a);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Certification: the static bounds must dominate what the pooled
+   backend actually did. *)
+
+type bound_check = {
+  check_pool : int;
+  metric : string;
+  bound : int;
+  measured : int;
+  holds : bool;
+}
+
+let check_pool_stats t (stats : Alloc.Poolalloc.pool_stats array) =
+  if Array.length stats <> t.pool_count then
+    invalid_arg "Poolplan.check_pool_stats: pool count mismatch";
+  List.concat_map
+    (fun p ->
+      let st = stats.(p.id) in
+      let mk metric bound measured =
+        { check_pool = p.id; metric; bound; measured; holds = measured <= bound }
+      in
+      [
+        mk "occupancy" p.occupancy_bound st.Alloc.Poolalloc.peak_live_bytes;
+        mk "footprint" p.footprint_bound st.Alloc.Poolalloc.footprint_bytes;
+        mk "retired" p.retired_bound st.Alloc.Poolalloc.retired_bytes;
+      ])
+    t.pools
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "pool plan for %s: %d site%s -> %d pool%s\n"
+       t.trace_name t.site_count
+       (if t.site_count = 1 then "" else "s")
+       t.pool_count
+       (if t.pool_count = 1 then "" else "s"));
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  pool %d [%s, %s]: sites {%s} occupancy<=%d footprint<=%d%s\n"
+           p.id
+           (if p.recycles then "recycling" else "retiring")
+           (reason_to_string p.reason)
+           (String.concat "," (List.map string_of_int p.members))
+           p.occupancy_bound p.footprint_bound
+           (if p.recycles then ""
+            else Printf.sprintf " retired<=%d" p.retired_bound)))
+    t.pools;
+  Buffer.contents b
+
+let site_json (t : t) (s : Siteflow.summary) =
+  Printf.sprintf
+    "{\"site\":%d,\"pool\":%d,\"allocs\":%d,\"frees\":%d,\"peak_live_bytes\":%d,\"total_freed_bytes\":%d,\"ptr_exposed\":%b,\"alias_exposed\":%b,\"wild_exposed\":%b,\"exposed_frees\":%d}"
+    s.Siteflow.site
+    t.pool_of_site.(s.Siteflow.site)
+    s.Siteflow.allocs s.Siteflow.frees s.Siteflow.peak_live_bytes
+    s.Siteflow.total_freed_bytes s.Siteflow.ptr_exposed
+    s.Siteflow.alias_exposed s.Siteflow.wild_exposed
+    s.Siteflow.exposed_frees
+
+let pool_json p =
+  Printf.sprintf
+    "{\"pool\":%d,\"recycles\":%b,\"reason\":\"%s\",\"sites\":[%s],\"occupancy_bound\":%d,\"footprint_bound\":%d,\"retired_bound\":%d}"
+    p.id p.recycles
+    (reason_to_string p.reason)
+    (String.concat "," (List.map string_of_int p.members))
+    p.occupancy_bound p.footprint_bound p.retired_bound
+
+let sites_json t =
+  "["
+  ^ String.concat ","
+      (Array.to_list (Array.map (site_json t) t.flow.Siteflow.summaries))
+  ^ "]"
+
+let pools_json t =
+  "[" ^ String.concat "," (List.map pool_json t.pools) ^ "]"

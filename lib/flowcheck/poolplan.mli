@@ -1,0 +1,77 @@
+(** Static allocation-site pooling analysis, stage two: the pool-merge
+    optimisation and its resource bounds.
+
+    Partitions the trace's allocation sites into the fewest pools such
+    that no pool may recycle a freed object while any site in that pool
+    has a live dangling alias to it. Under {!Siteflow}'s exposure
+    lattice the optimum is closed-form:
+
+    - all pointer-exposed sites merge into one {e retiring} pool (a
+      pool that never recycles is trivially safe to share);
+    - each alias- or wild-exposed site gets a {e singleton recycling}
+      pool (same-site reuse cannot confuse types under a surviving
+      alias, cross-site reuse could);
+    - all clean sites merge into one shared recycling pool.
+
+    Pool ids are assigned by first encounter over sites in ascending
+    order; the whole plan is a pure function of the op sequence and so
+    byte-identical across chunk sizes, runs and domain counts. *)
+
+type reason = Clean | Alias_isolated | Ptr_retired
+
+val reason_to_string : reason -> string
+
+type pool = {
+  id : int;
+  members : int list;  (** sites, ascending *)
+  recycles : bool;
+  reason : reason;
+  occupancy_bound : int;
+      (** bound on peak concurrent live usable bytes: the sum of member
+          sites' peaks dominates the peak of the pool's sum *)
+  footprint_bound : int;
+      (** bound on address space the pool ever owns. Slab need is
+          sub-additive (ceil(a+b) <= ceil a + ceil b), so summing
+          per-site slab/page-run ceilings — over peak demand for
+          recycling pools, total demand for retiring ones — dominates
+          the slabs the backend actually creates *)
+  retired_bound : int;
+      (** bound on bytes retired forever; 0 for recycling pools *)
+}
+
+type t = {
+  trace_name : string;
+  site_count : int;
+  pool_count : int;
+  pool_of_site : int array;  (** total: every site mapped to one pool *)
+  pools : pool list;  (** ascending id, pairwise-disjoint members *)
+  flow : Siteflow.t;  (** the underlying site analysis *)
+}
+
+val build : Siteflow.t -> t
+val of_stream : Workloads.Trace.stream -> t
+val of_trace : Workloads.Trace.t -> t
+
+val to_alloc_plan : t -> Alloc.Poolalloc.plan
+(** The runtime-neutral plan the pooled backend consumes. *)
+
+(** One static-bound-vs-telemetry comparison row. *)
+type bound_check = {
+  check_pool : int;
+  metric : string;  (** ["occupancy"], ["footprint"] or ["retired"] *)
+  bound : int;
+  measured : int;
+  holds : bool;
+}
+
+val check_pool_stats : t -> Alloc.Poolalloc.pool_stats array -> bound_check list
+(** Compare every pool's static bounds against the backend's live
+    telemetry; raises [Invalid_argument] on a pool-count mismatch. *)
+
+val render : t -> string
+
+val sites_json : t -> string
+(** JSON array of per-site records (schema v2 [sites] field). *)
+
+val pools_json : t -> string
+(** JSON array of per-pool records (schema v2 [pools] field). *)

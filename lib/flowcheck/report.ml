@@ -82,7 +82,7 @@ let analyze ?(policies = Policy.default_policies) stream =
   in
   let step () i op =
     (match op with
-    | Trace.Alloc { id; size } ->
+    | Trace.Alloc { id; size; site = _ } ->
       incr allocs;
       List.iter (fun (_, a) -> Policy.acc_alloc a ~size) accs;
       Lifetime.on_alloc lt ~id ~size ~op:i
@@ -251,14 +251,22 @@ let finding_to_json (d : Diagnostic.t) =
     d.Diagnostic.op_index
     (json_escape d.Diagnostic.message)
 
-let to_json t =
+(* Schema v2 = v1 plus the two siteflow fields ([sites], [pools]),
+   empty when the pooling analysis was not run. Every v1 field keeps
+   its name, type and order, so v1 consumers keep working. *)
+let to_json ?pools t =
+  let sites_json, pools_json =
+    match pools with
+    | None -> ("[]", "[]")
+    | Some plan -> (Poolplan.sites_json plan, Poolplan.pools_json plan)
+  in
   Printf.sprintf
-    "{\"schema\":\"msweep-flowcheck-v1\",\"trace\":\"%s\",\"threads\":%d,\
+    "{\"schema\":\"msweep-flowcheck-v2\",\"trace\":\"%s\",\"threads\":%d,\
      \"ops\":%d,\"allocs\":%d,\"frees\":%d,\"findings\":[%s],\
      \"predicted_unsound\":%s,\"predicted_retained\":%s,\
      \"windows\":{\"opened\":%d,\"closed\":%d,\"open_at_end\":%d,\
      \"max_len\":%d,\"total_len\":%d},\"wild_stores\":%d,\
-     \"subgranule_frees\":%d,\"bounds\":[%s]}"
+     \"subgranule_frees\":%d,\"bounds\":[%s],\"sites\":%s,\"pools\":%s}"
     (json_escape t.trace_name) t.threads t.ops t.allocs t.frees
     (String.concat "," (List.map finding_to_json t.findings))
     (json_ints t.predicted_unsound)
@@ -266,6 +274,65 @@ let to_json t =
     t.windows.opened t.windows.closed t.windows.open_at_end t.windows.max_len
     t.windows.total_len t.wild_stores t.subgranule_frees
     (String.concat "," (List.map bounds_to_json t.bounds))
+    sites_json pools_json
+
+(* Tolerant top-level field extractor: enough JSON awareness (strings,
+   escapes, bracket depth) to pull one field out of any v1 or v2
+   document without a parser dependency. Consumers that read documents
+   this way are insensitive to fields added by later schemas — the
+   compatibility contract the v1->v2 bump relies on. *)
+let json_field doc key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and dlen = String.length doc in
+  let rec find i in_string escaped depth =
+    if i >= dlen then None
+    else
+      let c = doc.[i] in
+      if in_string then
+        find (i + 1)
+          (not (c = '"' && not escaped))
+          (c = '\\' && not escaped)
+          depth
+      else
+        match c with
+        | '"' when depth = 1 && i + nlen <= dlen && String.sub doc i nlen = needle
+          -> Some (i + nlen)
+        | '"' -> find (i + 1) true false depth
+        | '{' | '[' -> find (i + 1) false false (depth + 1)
+        | '}' | ']' -> find (i + 1) false false (depth - 1)
+        | _ -> find (i + 1) false false depth
+  in
+  match find 0 false false 0 with
+  | None -> None
+  | Some start ->
+    (* Take the value: until a comma or closing brace at this depth. *)
+    let buf = Buffer.create 32 in
+    let rec take i in_string escaped depth =
+      if i >= dlen then Buffer.contents buf
+      else
+        let c = doc.[i] in
+        if in_string then begin
+          Buffer.add_char buf c;
+          take (i + 1) (not (c = '"' && not escaped)) (c = '\\' && not escaped)
+            depth
+        end
+        else
+          match c with
+          | (',' | '}') when depth = 0 -> Buffer.contents buf
+          | '"' ->
+            Buffer.add_char buf c;
+            take (i + 1) true false depth
+          | '{' | '[' ->
+            Buffer.add_char buf c;
+            take (i + 1) false false (depth + 1)
+          | '}' | ']' ->
+            Buffer.add_char buf c;
+            take (i + 1) false false (depth - 1)
+          | _ ->
+            Buffer.add_char buf c;
+            take (i + 1) false false depth
+    in
+    Some (take start false false 0)
 
 let render t =
   let buf = Buffer.create 1024 in
@@ -341,6 +408,7 @@ let corpus_expectations =
     ("field-out-of-range", []);
     ("uaf-chain", [ "flow-dangling" ]);
     ("free-thread-out-of-range", []);
+    ("alloc-site-out-of-range", []);
   ]
 
 let corpus_self_test () =

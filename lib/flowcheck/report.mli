@@ -50,10 +50,19 @@ val analyze : ?policies:Policy.t list -> Workloads.Trace.stream -> t
 
 val analyze_trace : ?policies:Policy.t list -> Workloads.Trace.t -> t
 
-val to_json : t -> string
-(** One line of deterministic JSON (schema [msweep-flowcheck-v1]):
+val to_json : ?pools:Poolplan.t -> t -> string
+(** One line of deterministic JSON (schema [msweep-flowcheck-v2]):
     integers and strings only, fields in fixed order — byte-identical
-    across runs on equal input. *)
+    across runs on equal input. v2 keeps every v1 field unchanged (name,
+    type, order) and appends [sites] and [pools], carrying the pooling
+    analysis when [?pools] is given and empty arrays otherwise, so v1
+    consumers remain correct on v2 documents. *)
+
+val json_field : string -> string -> string option
+(** [json_field doc key]: tolerant top-level field extractor (raw value
+    text, trimmed of nothing). String- and bracket-aware but schema
+    agnostic: reads v1 and v2 documents alike, which is the
+    compatibility contract the schema bump relies on. *)
 
 val render : t -> string
 (** Human-readable multi-line summary (findings sorted). *)

@@ -1,19 +1,23 @@
 let page = Vmem.page_size
 
 type t = {
-  heap : Alloc.Jemalloc.t;
+  resolve : int -> (int * int) option; (* value -> (base, usable) *)
   slot_target : (int, int) Hashtbl.t; (* slot -> target base *)
   incoming : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* base -> slot set *)
   slots_by_page : (int, (int, unit) Hashtbl.t) Hashtbl.t;
 }
 
-let create heap =
+let create_with ~resolve =
   {
-    heap;
+    resolve;
     slot_target = Hashtbl.create 4096;
     incoming = Hashtbl.create 4096;
     slots_by_page = Hashtbl.create 1024;
   }
+
+let create heap =
+  create_with ~resolve:(fun value ->
+      Alloc.Jemalloc.allocation_containing heap value)
 
 let set_member table key slot =
   let set =
@@ -44,7 +48,7 @@ let forget_slot t ~slot =
 let record_write t ~slot ~value =
   forget_slot t ~slot;
   if Layout.in_heap value then
-    match Alloc.Jemalloc.allocation_containing t.heap value with
+    match t.resolve value with
     | Some (base, _) ->
       Hashtbl.replace t.slot_target slot base;
       set_member t.incoming base slot;

@@ -15,6 +15,14 @@
 type t
 
 val create : Alloc.Jemalloc.t -> t
+(** Registry over a jemalloc heap: values resolve through
+    [Jemalloc.allocation_containing]. *)
+
+val create_with : resolve:(int -> (int * int) option) -> t
+(** Registry over any heap: [resolve value] returns [(base, usable)] of
+    the allocation containing [value], or [None]. Lets the same
+    ground-truth machinery audit non-jemalloc backends (the pooled
+    allocator's differential oracle). *)
 
 val record_write : t -> slot:int -> value:int -> unit
 (** The instrumented store: replaces any previous record for [slot];

@@ -155,7 +155,7 @@ let run ?(config = Minesweeper.Config.default) ?(config_name = "?")
   Array.iter
     (fun op ->
       match op with
-      | Trace.Alloc { id; size } ->
+      | Trace.Alloc { id; size; site = _ } ->
         s.current <- 0;
         let addr = Instance.malloc ms size in
         Hashtbl.replace addr_of id (addr, size);

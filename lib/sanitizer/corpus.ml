@@ -38,6 +38,10 @@ let cases =
        quarantine aliases the push to buffer 0 *)
     case "free-thread-out-of-range" [ "free-thread-out-of-range" ]
       "# threads 2\na 0 64\nx 0 5\n";
+    (* the trace declares 2 allocation sites but allocates at site 5:
+       replay and the siteflow analysis alias it to site 0 *)
+    case "alloc-site-out-of-range" [ "alloc-site-out-of-range" ]
+      "# sites 2\na 0 64 5\nx 0\n";
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -135,7 +135,7 @@ let run ?(config = Minesweeper.Config.default) ?(latency_sweeps = 3)
   Array.iteri
     (fun op_index op ->
       (match op with
-      | Trace.Alloc { id; size } ->
+      | Trace.Alloc { id; size; site = _ } ->
         let addr = Instance.malloc ms size in
         incr allocs;
         (* The backend zeroes fresh memory; any registry slots recorded

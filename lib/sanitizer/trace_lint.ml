@@ -16,6 +16,9 @@ let rules =
     ( "free-thread-out-of-range",
       "free issued from a thread id outside the trace's declared thread \
        count; the quarantine silently aliases it to buffer 0" );
+    ( "alloc-site-out-of-range",
+      "allocation attributed to a site id outside the trace's declared \
+       site count; replay and the siteflow analysis alias it to site 0" );
   ]
 
 type id_state =
@@ -153,7 +156,16 @@ let lint (trace : Trace.t) =
   Array.iteri
     (fun op_index op ->
       match op with
-      | Trace.Alloc { id; size } ->
+      | Trace.Alloc { id; size; site } ->
+        if site < 0 || site >= trace.Trace.sites then
+          report st ~rule:"alloc-site-out-of-range"
+            ~severity:Diagnostic.Warning ~op_index
+            (Printf.sprintf
+               "alloc of id %d at site %d, but the trace declares %d \
+                site%s — replay and siteflow alias it to site 0, merging \
+                its lifetime into the wrong pool"
+               id site trace.Trace.sites
+               (if trace.Trace.sites = 1 then "" else "s"));
         (match Hashtbl.find_opt st.ids id with
         | Some (Live { at; _ }) ->
           report st ~rule:"duplicate-alloc" ~severity:Diagnostic.Error

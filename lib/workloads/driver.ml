@@ -248,7 +248,8 @@ let run ?(trace_points = 240) ?(ops_scale = 1.0) ?(rss_limit = 768 * 1024 * 1024
       List.iter kill victims
     | Some _ | None -> ());
     let size = Sim.Dist.sample profile.Profile.size size_rng in
-    let addr = stack.Harness.malloc size in
+    let site = Trace.site_of_size ~sites:profile.Profile.sites size in
+    let addr = stack.Harness.malloc_site ~site size in
     Alloc.Machine.charge machine
       (int_of_float
          (profile.Profile.cache_sensitivity

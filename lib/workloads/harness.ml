@@ -10,6 +10,9 @@ type scheme =
   | Dang_san
   | Dl_baseline
   | Dl_sweeper of Minesweeper.Config.t
+  | Pooled of Alloc.Poolalloc.plan option
+      (** site-keyed pooling; [None] falls back to one recycling pool
+          per site ([identity_plan]) when no siteflow plan is at hand *)
 
 (* MineSweeper instantiated over the Scudo backend (Section 7). *)
 module Scudo_ms = Minesweeper.Instance.Make (Alloc.Backends.Scudo_backend)
@@ -44,6 +47,7 @@ let scheme_name = function
     if Minesweeper.Config.preset_name config = Some "default" then
       "scudo-minesweeper"
     else "scudo-minesweeper-variant"
+  | Pooled _ -> "pooled"
 
 type t = {
   scheme : string;
@@ -51,6 +55,9 @@ type t = {
   obs : Obs.Registry.t option;
   trace : Obs.Trace_ring.t option;
   malloc : int -> int;
+  malloc_site : site:int -> int -> int;
+      (** site-attributed allocation; every scheme except [Pooled]
+          ignores the site and behaves exactly like [malloc] *)
   free : thread:int -> int -> unit;
   tick : unit -> unit;
   drain : unit -> unit;
@@ -77,6 +84,10 @@ let cold_penalty_fn machine factor =
 
 let decay_interval = 1_000_000
 
+(* Matches the [Profile.make] default: a plan-free [Pooled None] stack
+   segregates the same site universe the generators attribute to. *)
+let default_pool_sites = 8
+
 let build scheme ~threads machine =
   match scheme with
   | Baseline ->
@@ -88,6 +99,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Alloc.Jemalloc.malloc je;
+      malloc_site = (fun ~site:_ size -> Alloc.Jemalloc.malloc je size);
       free = (fun ~thread:_ addr -> Alloc.Jemalloc.free je addr);
       tick =
         (fun () ->
@@ -126,6 +138,7 @@ let build scheme ~threads machine =
       obs = Some (Minesweeper.Instance.registry ms);
       trace = Some (Minesweeper.Instance.trace_ring ms);
       malloc = Minesweeper.Instance.malloc ms;
+      malloc_site = (fun ~site:_ size -> Minesweeper.Instance.malloc ms size);
       free = (fun ~thread addr -> Minesweeper.Instance.free ms ~thread addr);
       tick = (fun () -> Minesweeper.Instance.tick ms);
       drain = (fun () -> Minesweeper.Instance.drain ms);
@@ -199,6 +212,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Markus.malloc mk;
+      malloc_site = (fun ~site:_ size -> Markus.malloc mk size);
       free = (fun ~thread:_ addr -> Markus.free mk addr);
       tick = (fun () -> Markus.tick mk);
       drain = (fun () -> Markus.drain mk);
@@ -223,6 +237,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Alloc.Scudo.malloc sc;
+      malloc_site = (fun ~site:_ size -> Alloc.Scudo.malloc sc size);
       free = (fun ~thread:_ addr -> Alloc.Scudo.free sc addr);
       tick =
         (fun () ->
@@ -255,6 +270,7 @@ let build scheme ~threads machine =
       obs = Some (Scudo_ms.registry ms);
       trace = Some (Scudo_ms.trace_ring ms);
       malloc = Scudo_ms.malloc ms;
+      malloc_site = (fun ~site:_ size -> Scudo_ms.malloc ms size);
       free = (fun ~thread addr -> Scudo_ms.free ms ~thread addr);
       tick = (fun () -> Scudo_ms.tick ms);
       drain = (fun () -> Scudo_ms.drain ms);
@@ -279,6 +295,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Alloc.Dlmalloc.malloc dl;
+      malloc_site = (fun ~site:_ size -> Alloc.Dlmalloc.malloc dl size);
       free = (fun ~thread:_ addr -> Alloc.Dlmalloc.free dl addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
@@ -306,6 +323,7 @@ let build scheme ~threads machine =
       obs = Some (Dl_ms.registry ms);
       trace = Some (Dl_ms.trace_ring ms);
       malloc = Dl_ms.malloc ms;
+      malloc_site = (fun ~site:_ size -> Dl_ms.malloc ms size);
       free = (fun ~thread addr -> Dl_ms.free ms ~thread addr);
       tick = (fun () -> Dl_ms.tick ms);
       drain = (fun () -> Dl_ms.drain ms);
@@ -330,6 +348,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Ptrtrack.Crcount.malloc cr;
+      malloc_site = (fun ~site:_ size -> Ptrtrack.Crcount.malloc cr size);
       free = (fun ~thread:_ addr -> Ptrtrack.Crcount.free cr addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
@@ -355,6 +374,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Ptrtrack.Psweeper.malloc ps;
+      malloc_site = (fun ~site:_ size -> Ptrtrack.Psweeper.malloc ps size);
       free = (fun ~thread:_ addr -> Ptrtrack.Psweeper.free ps addr);
       tick = (fun () -> Ptrtrack.Psweeper.tick ps);
       drain = (fun () -> Ptrtrack.Psweeper.drain ps);
@@ -383,6 +403,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Ptrtrack.Dangsan.malloc ds;
+      malloc_site = (fun ~site:_ size -> Ptrtrack.Dangsan.malloc ds size);
       free = (fun ~thread:_ addr -> Ptrtrack.Dangsan.free ds addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
@@ -408,6 +429,7 @@ let build scheme ~threads machine =
       obs = None;
       trace = None;
       malloc = Ffmalloc.malloc ff;
+      malloc_site = (fun ~site:_ size -> Ffmalloc.malloc ff size);
       free = (fun ~thread:_ addr -> Ffmalloc.free ff addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
@@ -422,4 +444,45 @@ let build scheme ~threads machine =
       extra =
         (fun () ->
           [ ("va_consumed", float_of_int (Ffmalloc.va_consumed ff)) ]);
+    }
+  | Pooled plan ->
+    let plan =
+      match plan with
+      | Some p -> p
+      | None -> Alloc.Poolalloc.identity_plan ~sites:default_pool_sites
+    in
+    let pa = Alloc.Poolalloc.create ~plan machine in
+    let reg = Obs.Registry.create () in
+    Alloc.Poolalloc.attach_obs pa reg;
+    {
+      scheme = scheme_name scheme;
+      machine;
+      obs = Some reg;
+      trace = None;
+      malloc = Alloc.Poolalloc.malloc pa;
+      malloc_site =
+        (fun ~site size -> Alloc.Poolalloc.malloc_site pa ~site size);
+      free = (fun ~thread:_ addr -> Alloc.Poolalloc.free pa addr);
+      tick = (fun () -> ());
+      drain = (fun () -> ());
+      live_bytes = (fun () -> Alloc.Poolalloc.live_bytes pa);
+      metadata_bytes = (fun () -> 0);
+      (* Segregation delays spatial reuse a little; far milder than a
+         quarantine since pools recycle their own slots immediately. *)
+      cold_penalty = cold_penalty_fn machine 0.05;
+      is_protected_addr = (fun _ -> false);
+      tolerates_double_free = false;
+      on_pointer_write = no_pointer_tracking;
+      sweeps = (fun () -> 0);
+      failed_frees = (fun () -> 0);
+      extra =
+        (fun () ->
+          [
+            ("pools",
+             float_of_int (Alloc.Poolalloc.plan pa).Alloc.Poolalloc.pools);
+            ("footprint_bytes",
+             float_of_int (Alloc.Poolalloc.footprint_bytes pa));
+            ("retired_bytes",
+             float_of_int (Alloc.Poolalloc.retired_bytes pa));
+          ]);
     }

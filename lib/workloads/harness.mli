@@ -22,8 +22,16 @@ type scheme =
           free-list links, Section 2's footnote) *)
   | Dl_sweeper of Minesweeper.Config.t
       (** MineSweeper layered over the dlmalloc model *)
+  | Pooled of Alloc.Poolalloc.plan option
+      (** SeMalloc/CAMP-style site-keyed pooling driven by a flowcheck
+          siteflow plan; [None] uses [Poolalloc.identity_plan] over
+          {!default_pool_sites} sites (maximum segregation) *)
 
 val scheme_name : scheme -> string
+
+val default_pool_sites : int
+(** Site universe assumed by a plan-free [Pooled None] stack; matches
+    the [Profile.make] default. *)
 
 type t = {
   scheme : string;
@@ -36,6 +44,10 @@ type t = {
   trace : Obs.Trace_ring.t option;
       (** the stack's span ring (events + sweep-phase profiling) *)
   malloc : int -> int;
+  malloc_site : site:int -> int -> int;
+      (** site-attributed allocation ({!Trace} replay calls this);
+          every scheme except [Pooled] ignores the site and behaves
+          exactly like [malloc] *)
   free : thread:int -> int -> unit;
   tick : unit -> unit;
   drain : unit -> unit;

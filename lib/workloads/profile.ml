@@ -16,6 +16,7 @@ type t = {
   threads : int;
   leak_rate : float;
   cache_sensitivity : float;
+  sites : int;
   seed : int;
 }
 
@@ -24,7 +25,7 @@ let make ~name ~suite ~ops ~size ~lifetime ?lifetime_large ~work_per_op
     ?(false_pointer_rate = 0.002) ?(back_pointer_rate = 0.15)
     ?(phase_ops = None) ?(phase_kill = 0.7)
     ?(threads = 1) ?(leak_rate = 0.0005) ?(cache_sensitivity = 0.2)
-    ?(seed = 42) () =
+    ?(sites = 8) ?(seed = 42) () =
   {
     name;
     suite;
@@ -43,6 +44,7 @@ let make ~name ~suite ~ops ~size ~lifetime ?lifetime_large ~work_per_op
     threads;
     leak_rate;
     cache_sensitivity;
+    sites;
     seed;
   }
 

@@ -43,6 +43,10 @@ type t = {
   cache_sensitivity : float;
       (** how strongly the benchmark's performance depends on allocator
           locality; scales the delayed-reuse cache penalty *)
+  sites : int;
+      (** distinct allocation sites the generator attributes allocs to;
+          a site is a stable function of the sampled size class, standing
+          in for a call-site/type key (siteflow pooling analysis) *)
   seed : int;
 }
 
@@ -64,6 +68,7 @@ val make :
   ?threads:int ->
   ?leak_rate:float ->
   ?cache_sensitivity:float ->
+  ?sites:int ->
   ?seed:int ->
   unit ->
   t

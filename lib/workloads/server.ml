@@ -441,7 +441,15 @@ let median xs =
    (arena allocs, payload stores, occasional dangling publication or
    leak, service work, arena teardown, connection churn) expressed as
    {!Trace.op}s over object ids. Open-loop timestamps have no batch
-   equivalent and are dropped. *)
+   equivalent and are dropped.
+
+   Sites are semantic here, not size-derived: site 1 is the
+   connection-buffer arena, site 0 the per-request arena — the two
+   genuinely distinct allocation sites of the server loop. *)
+let trace_sites = 2
+let connection_site = 1
+let request_site = 0
+
 let to_trace ?seed sp =
   let seed = Option.value seed ~default:sp.seed in
   let rng = Sim.Rng.create seed in
@@ -464,7 +472,7 @@ let to_trace ?seed sp =
         List.init sp.connection_buffers (fun _ ->
             let id = fresh () in
             let size = Sim.Dist.sample sp.connection_size size_rng in
-            emit (Trace.Alloc { id; size });
+            emit (Trace.Alloc { id; size; site = connection_site });
             emit
               (Trace.Store_data
                  { loc = Trace.Field (id, 0); value = payload_word });
@@ -481,7 +489,7 @@ let to_trace ?seed sp =
       List.init n (fun _ ->
           let id = fresh () in
           let size = Sim.Dist.sample sp.request_size size_rng in
-          emit (Trace.Alloc { id; size });
+          emit (Trace.Alloc { id; size; site = request_site });
           emit
             (Trace.Store_data { loc = Trace.Field (id, 0); value = payload_word });
           id)
@@ -499,5 +507,6 @@ let to_trace ?seed sp =
   {
     Trace.name = sp.name;
     threads = 1;
+    sites = trace_sites;
     ops = Array.of_list (List.rev !ops);
   }

@@ -3,7 +3,7 @@ type location =
   | Field of int * int
 
 type op =
-  | Alloc of { id : int; size : int }
+  | Alloc of { id : int; size : int; site : int }
   | Store_ptr of { loc : location; target : int }
   | Clear_ptr of { loc : location; target : int }
   | Store_data of { loc : location; value : int }
@@ -13,8 +13,14 @@ type op =
 type t = {
   name : string;
   threads : int;
+  sites : int;
   ops : op array;
 }
+
+(* Site ids out of [0, sites) alias site 0 — the same convention the
+   free-thread column uses, so malformed traces stay replayable (the
+   lint pass flags them). *)
+let clamp_site ~sites site = if site >= 0 && site < sites then site else 0
 
 let length t = Array.length t.ops
 
@@ -27,6 +33,18 @@ let allocation_count t =
 (* Generation                                                          *)
 
 let root_window_words = 8192
+
+(* The stable allocation-site key: a pure function of the sampled size
+   (log2 size-class bucket, folded onto [0, sites)), standing in for the
+   call-site/type key a compiler pass would emit. Being a function of
+   the size alone keeps the generator's RNG streams untouched and lets
+   [Driver] attribute its own mallocs to the same sites. *)
+let site_of_size ~sites size =
+  if sites <= 1 then 0
+  else begin
+    let rec bucket acc n = if n <= 8 then acc else bucket (acc + 1) (n lsr 1) in
+    bucket 0 (max 1 size) mod sites
+  end
 
 let generate ?(seed = 1) profile =
   let rng = Sim.Rng.create (seed lxor profile.Profile.seed) in
@@ -65,7 +83,8 @@ let generate ?(seed = 1) profile =
         ids
     | None -> ());
     let size = Sim.Dist.sample profile.Profile.size size_rng in
-    emit (Alloc { id = i; size });
+    let site = site_of_size ~sites:profile.Profile.sites size in
+    emit (Alloc { id = i; size; site });
     live := (i, size) :: !live;
     incr live_count;
     if Sim.Rng.bool rng profile.Profile.pointer_density then begin
@@ -101,6 +120,7 @@ let generate ?(seed = 1) profile =
     emit (Work profile.Profile.work_per_op)
   done;
   { name = profile.Profile.name; threads = 1;
+    sites = max 1 profile.Profile.sites;
     ops = Array.of_list (List.rev !ops) }
 
 (* ------------------------------------------------------------------ *)
@@ -126,8 +146,9 @@ let replay t (stack : Harness.t) =
     (fun op ->
       incr executed;
       match op with
-      | Alloc { id; size } ->
-        let addr = stack.Harness.malloc size in
+      | Alloc { id; size; site } ->
+        let site = clamp_site ~sites:t.sites site in
+        let addr = stack.Harness.malloc_site ~site size in
         Hashtbl.replace addr_of id (addr, size);
         stack.Harness.tick ()
       | Free { id; thread } ->
@@ -181,11 +202,15 @@ let to_string t =
   Buffer.add_string buffer (Printf.sprintf "# msweep-trace v1 %s\n" t.name);
   if t.threads <> 1 then
     Buffer.add_string buffer (Printf.sprintf "# threads %d\n" t.threads);
+  if t.sites <> 1 then
+    Buffer.add_string buffer (Printf.sprintf "# sites %d\n" t.sites);
   Array.iter
     (fun op ->
       Buffer.add_string buffer
         (match op with
-        | Alloc { id; size } -> Printf.sprintf "a %d %d\n" id size
+        | Alloc { id; size; site } ->
+          if site = 0 then Printf.sprintf "a %d %d\n" id size
+          else Printf.sprintf "a %d %d %d\n" id size site
         | Free { id; thread } ->
           if thread = 0 then Printf.sprintf "x %d\n" id
           else Printf.sprintf "x %d %d\n" id thread
@@ -208,6 +233,7 @@ type parsed_line =
   | L_op of op
   | L_name of string
   | L_threads of int
+  | L_sites of int
   | L_nothing
 
 let parse_line ~line_no line =
@@ -227,9 +253,21 @@ let parse_line ~line_no line =
     let n = int_at "threads" n in
     if n < 1 then parse_error line_no "threads must be >= 1";
     L_threads n
+  | [ "#"; "sites"; n ] ->
+    let n = int_at "sites" n in
+    if n < 1 then parse_error line_no "sites must be >= 1";
+    L_sites n
   | "#" :: _ -> L_nothing
   | [ "a"; id; size ] ->
-    L_op (Alloc { id = int_at "id" id; size = int_at "size" size })
+    L_op (Alloc { id = int_at "id" id; size = int_at "size" size; site = 0 })
+  | [ "a"; id; size; site ] ->
+    L_op
+      (Alloc
+         {
+           id = int_at "id" id;
+           size = int_at "size" size;
+           site = int_at "site" site;
+         })
   | [ "x"; id ] -> L_op (Free { id = int_at "id" id; thread = 0 })
   | [ "x"; id; thread ] ->
     L_op (Free { id = int_at "id" id; thread = int_at "thread" thread })
@@ -256,6 +294,7 @@ let of_string s =
   let lines = String.split_on_char '\n' s in
   let name = ref "trace" in
   let threads = ref 1 in
+  let sites = ref 1 in
   let ops = ref [] in
   List.iteri
     (fun idx line ->
@@ -263,9 +302,11 @@ let of_string s =
       | L_op op -> ops := op :: !ops
       | L_name n -> name := n
       | L_threads n -> threads := n
+      | L_sites n -> sites := n
       | L_nothing -> ())
     lines;
-  { name = !name; threads = !threads; ops = Array.of_list (List.rev !ops) }
+  { name = !name; threads = !threads; sites = !sites;
+    ops = Array.of_list (List.rev !ops) }
 
 (* ------------------------------------------------------------------ *)
 (* Chunked streaming                                                   *)
@@ -275,6 +316,7 @@ let default_chunk_ops = 4096
 type stream = {
   s_name : string ref;
   s_threads : int ref;
+  s_sites : int ref;
   s_chunk : int;
   s_pull : unit -> op option;
   s_close : unit -> unit;
@@ -289,6 +331,7 @@ type stream = {
 let stream_of_lines ?(chunk_ops = default_chunk_ops) next_line close =
   let name = ref "trace" in
   let threads = ref 1 in
+  let sites = ref 1 in
   let line_no = ref 0 in
   let rec pull () =
     match next_line () with
@@ -303,12 +346,16 @@ let stream_of_lines ?(chunk_ops = default_chunk_ops) next_line close =
       | L_threads n ->
         threads := n;
         pull ()
+      | L_sites n ->
+        sites := n;
+        pull ()
       | L_nothing -> pull ())
   in
   let peek = pull () in
   {
     s_name = name;
     s_threads = threads;
+    s_sites = sites;
     s_chunk = max 1 chunk_ops;
     s_pull = pull;
     s_close = close;
@@ -358,6 +405,7 @@ let stream_of_trace ?(chunk_ops = default_chunk_ops) t =
   {
     s_name = ref t.name;
     s_threads = ref t.threads;
+    s_sites = ref t.sites;
     s_chunk = max 1 chunk_ops;
     s_pull = pull;
     s_close = (fun () -> ());
@@ -367,6 +415,7 @@ let stream_of_trace ?(chunk_ops = default_chunk_ops) t =
 
 let stream_name st = !(st.s_name)
 let stream_threads st = !(st.s_threads)
+let stream_sites st = !(st.s_sites)
 
 let fold_stream st ~init ~f =
   if st.s_consumed then

@@ -12,7 +12,12 @@ type location =
   | Field of int * int  (** object id, word index within the object *)
 
 type op =
-  | Alloc of { id : int; size : int }
+  | Alloc of { id : int; size : int; site : int }
+      (** allocation attributed to static site [site]. Serialised as
+          [a id size site], with the site column omitted when 0 so
+          site-free traces keep the compact v1 form. Site ids outside
+          [0, sites) alias site 0 (flagged by the
+          [alloc-site-out-of-range] lint rule). *)
   | Store_ptr of { loc : location; target : int }
       (** instrumented pointer store: [&target] written at [loc] *)
   | Clear_ptr of { loc : location; target : int }
@@ -32,8 +37,22 @@ type t = {
   threads : int;
       (** declared mutator thread count; serialised as a [# threads N]
           header line (omitted, and 1, for single-threaded traces) *)
+  sites : int;
+      (** declared allocation-site count; serialised as a [# sites N]
+          header line (omitted, and 1, for site-free traces, so old
+          traces parse unchanged) *)
   ops : op array;
 }
+
+val clamp_site : sites:int -> int -> int
+(** [clamp_site ~sites site] is [site] when it lies in [0, sites) and 0
+    otherwise — the aliasing rule replay and analysis share. *)
+
+val site_of_size : sites:int -> int -> int
+(** The generator's stable site key: the log2 size-class bucket of the
+    request folded onto [0, sites). A pure function of the size so
+    trace generation, [Driver]'s synthetic load, and any re-derivation
+    agree on the attribution. *)
 
 val root_window_words : int
 (** Size of the root (stack/globals) window in words. {!replay} resolves
@@ -90,6 +109,9 @@ val stream_name : stream -> string
 
 val stream_threads : stream -> int
 (** Declared mutator thread count (see {!stream_name} for timing). *)
+
+val stream_sites : stream -> int
+(** Declared allocation-site count (see {!stream_name} for timing). *)
 
 val fold_stream : stream -> init:'a -> f:('a -> int -> op -> 'a) -> 'a
 (** [fold_stream st ~init ~f] applies [f acc op_index op] over every op

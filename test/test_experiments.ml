@@ -66,7 +66,7 @@ let test_figure_list_complete () =
       "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19";
       "scudo"; "ptrtrack"; "ablation-threshold"; "ablation-granule";
       "ablation-helpers"; "incremental-sweep"; "parallel-mark";
-      "sweep-pipeline"; "static-bounds"; "tail-latency";
+      "sweep-pipeline"; "static-bounds"; "pooled-landscape"; "tail-latency";
     ]
     (List.map fst Experiments.all_figures)
 

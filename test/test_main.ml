@@ -37,4 +37,6 @@ let () =
       Test_report.suite;
       Test_experiments.suite;
       Test_flowcheck.suite;
+      Test_poolalloc.suite;
+      Test_siteflow.suite;
     ]

@@ -229,6 +229,94 @@ let test_single_thread_free_column () =
   Alcotest.(check string) "serialisation is a parse fixpoint" text
     (Workloads.Trace.to_string (Workloads.Trace.of_string text))
 
+let test_sites_header_roundtrip () =
+  let text =
+    "# msweep-trace v1 st\n# sites 3\na 0 64 2\nx 0\na 1 32\nx 1\n"
+  in
+  let t = Workloads.Trace.of_string text in
+  Alcotest.(check int) "sites parsed" 3 t.Workloads.Trace.sites;
+  (match t.Workloads.Trace.ops.(0) with
+  | Workloads.Trace.Alloc { id; site; _ } ->
+    Alcotest.(check int) "alloc id" 0 id;
+    Alcotest.(check int) "alloc site" 2 site
+  | _ -> Alcotest.fail "op 0 should be an alloc");
+  (match t.Workloads.Trace.ops.(2) with
+  | Workloads.Trace.Alloc { site; _ } ->
+    Alcotest.(check int) "site defaults to 0" 0 site
+  | _ -> Alcotest.fail "op 2 should be an alloc");
+  let reparsed = Workloads.Trace.of_string (Workloads.Trace.to_string t) in
+  Alcotest.(check int) "sites survive roundtrip" 3
+    reparsed.Workloads.Trace.sites;
+  Alcotest.(check string) "text roundtrip with header"
+    (Workloads.Trace.to_string t)
+    (Workloads.Trace.to_string reparsed);
+  (* Site-free traces keep the compact pre-sites form: no header, no
+     site column — byte-compatible with older readers. *)
+  let sitefree =
+    Workloads.Trace.generate
+      (Workloads.Profile.make ~name:"sitefree" ~suite:"test" ~ops:200
+         ~size:(Sim.Dist.uniform ~lo:16 ~hi:64)
+         ~lifetime:(Sim.Dist.exponential ~mean:50.)
+         ~work_per_op:10 ~sites:1 ())
+  in
+  let text = Workloads.Trace.to_string sitefree in
+  let has_prefix p line =
+    String.length line >= String.length p && String.sub line 0 (String.length p) = p
+  in
+  Alcotest.(check bool) "no header for 1 site" false
+    (List.exists (has_prefix "# sites") (String.split_on_char '\n' text));
+  Alcotest.(check bool) "allocs keep the two-column form" true
+    (List.exists
+       (fun line ->
+         has_prefix "a " line
+         && List.length (String.split_on_char ' ' line) = 3)
+       (String.split_on_char '\n' text))
+
+let test_single_site_column () =
+  (* An explicit site column parses even without a sites header;
+     serialisation keeps the compact form whenever the column carries no
+     information (site 0). *)
+  let t = Workloads.Trace.of_string "# msweep-trace v1 one\na 0 64 0\nx 0\n" in
+  Alcotest.(check int) "sites stays 1" 1 t.Workloads.Trace.sites;
+  (match t.Workloads.Trace.ops.(0) with
+  | Workloads.Trace.Alloc { site; _ } ->
+    Alcotest.(check int) "explicit site 0" 0 site
+  | _ -> Alcotest.fail "op 0 should be an alloc");
+  let text = Workloads.Trace.to_string t in
+  Alcotest.(check bool) "compact form: no column for site 0" true
+    (List.mem "a 0 64" (String.split_on_char '\n' text));
+  Alcotest.(check string) "serialisation is a parse fixpoint" text
+    (Workloads.Trace.to_string (Workloads.Trace.of_string text))
+
+let test_sites_zero_header () =
+  Alcotest.check_raises "zero sites"
+    (Failure "Trace.of_string: line 2: sites must be >= 1") (fun () ->
+      ignore
+        (Workloads.Trace.of_string "# msweep-trace v1 bad\n# sites 0\na 0 64\n"));
+  Alcotest.check_raises "negative sites via stream"
+    (Failure "Trace.of_string: line 1: sites must be >= 1") (fun () ->
+      let st = Workloads.Trace.stream_of_string "# sites -2\na 0 64\n" in
+      ignore (Workloads.Trace.fold_stream st ~init:0 ~f:(fun acc _ _ -> acc)))
+
+let test_generated_sites_replayable () =
+  (* Generator profiles now attribute allocs to sites; the pooled
+     harness consumes them and every other scheme ignores them. *)
+  let t = Workloads.Trace.generate tiny_profile in
+  Alcotest.(check int) "default profile declares 8 sites" 8
+    t.Workloads.Trace.sites;
+  let some_nonzero =
+    Array.exists
+      (function
+        | Workloads.Trace.Alloc { site; _ } -> site > 0
+        | _ -> false)
+      t.Workloads.Trace.ops
+  in
+  Alcotest.(check bool) "sites actually vary" true some_nonzero;
+  let stack = fresh_stack (Workloads.Harness.Pooled None) in
+  let executed = Workloads.Trace.replay t stack in
+  Alcotest.(check int) "pooled replay executes every op"
+    (Workloads.Trace.length t) executed
+
 (* The streaming fold and the one-shot parser share one line parser;
    this property pins the stronger claim that chunking cannot change
    what a consumer observes: any chunk size, any generator profile. *)
@@ -257,6 +345,7 @@ let prop_chunked_fold_equals_parse =
       in
       Workloads.Trace.stream_name st = parsed.Workloads.Trace.name
       && Workloads.Trace.stream_threads st = parsed.Workloads.Trace.threads
+      && Workloads.Trace.stream_sites st = parsed.Workloads.Trace.sites
       && streamed = expected)
 
 let test_stream_single_shot () =
@@ -289,6 +378,14 @@ let suite =
         test_threads_zero_header;
       Alcotest.test_case "free-thread column, single-threaded" `Quick
         test_single_thread_free_column;
+      Alcotest.test_case "sites header roundtrip" `Quick
+        test_sites_header_roundtrip;
+      Alcotest.test_case "site column, single-site" `Quick
+        test_single_site_column;
+      Alcotest.test_case "sites-0 header rejected" `Quick
+        test_sites_zero_header;
+      Alcotest.test_case "generated sites replay under pooled" `Quick
+        test_generated_sites_replayable;
       QCheck_alcotest.to_alcotest prop_chunked_fold_equals_parse;
       Alcotest.test_case "stream is single-shot" `Quick
         test_stream_single_shot;
