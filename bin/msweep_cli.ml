@@ -545,6 +545,207 @@ let serve_cmd =
       const f $ profile_arg $ scheme_arg $ scale_arg $ repeat_arg
       $ metrics_arg $ spans_arg $ attack_arg)
 
+(* --tenants grammar: comma-separated entries, each
+   profile:scheme[*count][@weight] — e.g. the default fleet
+   "slow-leak:minesweeper,steady:minesweeper*4". *)
+let parse_tenants ~quarantine_budget spec =
+  let parse_entry entry =
+    let entry = String.trim entry in
+    let entry, weight =
+      match String.index_opt entry '@' with
+      | Some i ->
+        ( String.sub entry 0 i,
+          int_of_string (String.sub entry (i + 1) (String.length entry - i - 1))
+        )
+      | None -> (entry, 1)
+    in
+    let entry, count =
+      match String.index_opt entry '*' with
+      | Some i ->
+        ( String.sub entry 0 i,
+          int_of_string (String.sub entry (i + 1) (String.length entry - i - 1))
+        )
+      | None -> (entry, 1)
+    in
+    let profile_name, scheme_name =
+      match String.index_opt entry ':' with
+      | Some i ->
+        ( String.sub entry 0 i,
+          String.sub entry (i + 1) (String.length entry - i - 1) )
+      | None -> invalid_arg ("tenant entry needs profile:scheme, got " ^ entry)
+    in
+    let profile =
+      match Workloads.Server.find profile_name with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          (Fmt.str "unknown profile %s (expected one of: %s)" profile_name
+             (String.concat ", " Workloads.Server.names))
+    in
+    let scheme = scheme_of_string scheme_name in
+    List.init (max 1 count) (fun i ->
+        let name =
+          if count = 1 then profile_name
+          else Fmt.str "%s%d" profile_name i
+        in
+        Fleet.tenant ~weight ~quarantine_budget ~name profile scheme)
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.concat_map parse_entry
+
+let print_fleet_result (r : Fleet.result) =
+  Fmt.pr "tenants        %d  scheduler %s  purge-order %s@."
+    (List.length r.tenants)
+    (Fleet.scheduler_name r.scheduler)
+    (Fleet.purge_order_name r.purge_order);
+  Fmt.pr "budget         %.2f MiB@." (mb r.budget);
+  Fmt.pr "committed peak %.2f MiB (raw %.2f, overshoot %.2f)@."
+    (mb r.committed_peak) (mb r.committed_peak_raw) (mb r.overshoot);
+  Fmt.pr "pressure       %d events, %d reclaims, %d oom kills@."
+    r.pressure_events r.total_reclaims r.oom_kills;
+  Fmt.pr "steps          %d@." r.steps;
+  let q label (v : Workloads.Server.quantiles) =
+    Fmt.pr "%-14s p50 %.0f  p99 %.0f  p999 %.0f@." label v.p50 v.p99 v.p999
+  in
+  q "fleet latency" r.agg_latency;
+  q "fleet stall" r.agg_stall;
+  q "fleet pause" r.agg_pause;
+  List.iter
+    (fun (t : Fleet.tenant_result) ->
+      Fmt.pr
+        "  %-10s %-22s %5d/%-5d lat p99 %8.0f  stall p99 %8.0f  injected \
+         %8d  reclaims %d%s%s@."
+        t.name t.scheme t.server.Workloads.Server.completed
+        t.server.Workloads.Server.requests
+        t.server.Workloads.Server.latency.p99
+        t.server.Workloads.Server.stall_latency.p99 t.injected_stall_cycles
+        t.reclaims
+        (if t.quarantine_trims > 0 then Fmt.str " trims %d" t.quarantine_trims
+         else "")
+        (if t.killed then "  KILLED"
+         else if t.server.Workloads.Server.oom_killed then "  OOM"
+         else ""))
+    r.tenants
+
+let fleet_cmd =
+  let doc =
+    "Run N tenant instances on one simulated machine with a shared \
+     physical-page budget. Each tenant is a full stack (own address space, \
+     clock, backend) driven by its own open-loop traffic; the machine layer \
+     interleaves their steps deterministically, charges one tenant's sweep \
+     stalls and marking bandwidth to its neighbours' request windows, and \
+     holds the summed committed bytes under the budget by forcing \
+     cross-tenant reclaim (largest-quarantine-first or round-robin) with \
+     OOM kill as the backstop. Deterministic: identical invocations \
+     produce byte-identical exports."
+  in
+  let tenants_arg =
+    Arg.(
+      value
+      & opt string "slow-leak:minesweeper,steady:minesweeper*4"
+      & info [ "t"; "tenants" ]
+          ~doc:
+            "Tenant spec: comma-separated profile:scheme[*count][@weight] \
+             entries (weight = consecutive steps per priority quantum)")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 192
+      & info [ "budget" ] ~doc:"Machine physical-page budget in MiB")
+  in
+  let scheduler_arg =
+    Arg.(
+      value & opt string "round-robin"
+      & info [ "scheduler" ] ~doc:"Scheduler: round-robin or priority")
+  in
+  let purge_arg =
+    Arg.(
+      value & opt string "largest-quarantine"
+      & info [ "purge-order" ]
+          ~doc:
+            "Cross-tenant reclaim order under pressure: largest-quarantine \
+             or round-robin")
+  in
+  let qbudget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "quarantine-budget" ]
+          ~doc:
+            "Per-tenant quarantine budget in MiB (0 = unlimited): a tenant \
+             overrunning it is reclaimed immediately")
+  in
+  let seed_arg =
+    Arg.(value & opt int 9100 & info [ "seed" ] ~doc:"Fleet seed")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ]
+          ~doc:
+            "Run N independent repeats; repeat i derives its seed with \
+             Rng.split_seed, tenant j within a repeat splits again — one \
+             stream per tenant per repeat")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Write the fleet registry (fleet.*, per-tenant fleet.t<i>.*, \
+             cross-tenant fleet.agg.*) as JSONL here")
+  in
+  let f tenants_spec budget scheduler purge qbudget scale seed repeat
+      metrics_out =
+    let scheduler =
+      match Fleet.scheduler_of_string scheduler with
+      | Some s -> s
+      | None -> invalid_arg ("unknown scheduler " ^ scheduler)
+    in
+    let purge_order =
+      match Fleet.purge_order_of_string purge with
+      | Some p -> p
+      | None -> invalid_arg ("unknown purge order " ^ purge)
+    in
+    let specs =
+      parse_tenants ~quarantine_budget:(qbudget * 1024 * 1024) tenants_spec
+    in
+    if specs = [] then invalid_arg "empty tenant spec";
+    let cfg =
+      Fleet.config ~budget:(budget * 1024 * 1024) ~scheduler ~purge_order ()
+    in
+    let repeat = max 1 repeat in
+    let results = Fleet.run_repeats ~scale ~seed ~repeats:repeat cfg specs in
+    let first = List.hd results in
+    print_fleet_result first;
+    if repeat > 1 then begin
+      List.iteri
+        (fun i (r : Fleet.result) ->
+          Fmt.pr
+            "repeat %-2d      stall p99 %.0f  latency p99 %.0f  peak %.2f \
+             MiB  pressure %d@."
+            i r.agg_stall.p99 r.agg_latency.p99 (mb r.committed_peak)
+            r.pressure_events)
+        results;
+      let med f = Workloads.Server.median (List.map f results) in
+      Fmt.pr "median of %-2d   stall p99 %.0f  latency p99 %.0f@." repeat
+        (med (fun (r : Fleet.result) -> r.agg_stall.p99))
+        (med (fun (r : Fleet.result) -> r.agg_latency.p99))
+    end;
+    match metrics_out with
+    | Some file ->
+      Obs.Export.write_file file
+        (Obs.Export.metrics_to_string first.Fleet.registry);
+      Fmt.pr "metrics        %s (%d metrics)@." file
+        (List.length (Obs.Registry.names first.Fleet.registry))
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const f $ tenants_arg $ budget_arg $ scheduler_arg $ purge_arg
+      $ qbudget_arg $ scale_arg $ seed_arg $ repeat_arg $ metrics_arg)
+
 let trace_gen_cmd =
   let doc = "Generate a portable trace file from a benchmark profile" in
   let out_arg =
@@ -982,7 +1183,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; bench_cmd; serve_cmd; trace_cmd; compare_cmd;
-            figures_cmd; attack_cmd; trace_gen_cmd; trace_replay_cmd;
-            check_cmd; analyze_cmd; explore_cmd;
+            list_cmd; run_cmd; bench_cmd; serve_cmd; fleet_cmd; trace_cmd;
+            compare_cmd; figures_cmd; attack_cmd; trace_gen_cmd;
+            trace_replay_cmd; check_cmd; analyze_cmd; explore_cmd;
           ]))

@@ -408,4 +408,42 @@ cmp "$workdir/tail1.txt" "$workdir/tail2.txt" \
   || { echo "FAIL: tail-latency figure differs across identical runs" >&2; exit 1; }
 echo "tail-latency figure deterministic, monotone, open-loop, attack-clean"
 
+echo "== fleet: shared-budget determinism, aggregation, noisy neighbour"
+# Two identical 5-tenant fleet runs (the default noisy-neighbour spec on
+# the default 192 MiB budget) must export byte-identical merged
+# registries: split-seed tenant streams, integer interference arithmetic
+# and sorted merge order leave no room for drift.
+"$CLI" fleet --scale 0.05 --metrics-out "$workdir/fleet1.jsonl" \
+  >"$workdir/fleet1.txt" \
+  || { echo "FAIL: fleet smoke run exited nonzero" >&2; exit 1; }
+"$CLI" fleet --scale 0.05 --metrics-out "$workdir/fleet2.jsonl" \
+  >/dev/null
+cmp "$workdir/fleet1.jsonl" "$workdir/fleet2.jsonl" \
+  || { echo "FAIL: fleet metric exports differ across identical runs" >&2; exit 1; }
+# The default budget must hold without pressure, and the export must
+# carry the per-tenant namespaces beside the machine-wide aggregation.
+grep -q "pressure       0 events, 0 reclaims, 0 oom kills" "$workdir/fleet1.txt" \
+  || { echo "FAIL: 5-tenant fleet under default budget hit pressure" >&2; exit 1; }
+for name in fleet.agg.srv.latency fleet.agg.srv.stall_latency \
+    fleet.t0.srv.requests fleet.t4.srv.requests fleet.committed_peak \
+    fleet.t0.vmem.committed_bytes; do
+  grep -q "\"metric\":\"$name\"" "$workdir/fleet1.jsonl" \
+    || { echo "FAIL: $name absent from the fleet export" >&2; exit 1; }
+done
+echo "fleet: byte-identical exports, aggregation present, budget held"
+
+echo "== bench smoke: fleet-pressure figure"
+# Noisy-neighbour across backends and both purge orders: committed peak
+# within budget, arrivals identical to isolation (open loop preserved
+# across the fleet), neighbour p99 stall strictly above isolation where
+# interference was injected (the figure prints REGRESSION otherwise).
+"$CLI" figures --only fleet-pressure --scale 0.02 \
+  >"$workdir/fleetfig.txt" 2>/dev/null
+if grep -q "REGRESSION" "$workdir/fleetfig.txt"; then
+  grep "REGRESSION" "$workdir/fleetfig.txt" >&2
+  echo "FAIL: fleet-pressure figure reported a regression" >&2
+  exit 1
+fi
+echo "fleet-pressure figure: budget held, open loop, neighbour stall visible"
+
 echo "== all checks passed"

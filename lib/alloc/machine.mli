@@ -28,7 +28,17 @@ val charge_bytes : t -> float -> int -> unit
 (** [charge_bytes t per_byte n] charges a streaming cost. *)
 
 val with_sink : t -> sink -> (unit -> 'a) -> 'a
-(** Run a closure with a temporarily switched sink. *)
+(** Run a closure with a temporarily switched sink.
+
+    Nesting- and exception-safe: the previous sink (whatever it was,
+    including one set by an enclosing [with_sink]) is restored both on
+    normal return and when the closure raises, so nested switches unwind
+    in LIFO order. The sink is {e per-machine} mutable state: when
+    closures over two machines interleave — the fleet scheduler runs one
+    tenant's reclaim inside another tenant's scheduling quantum, each
+    tenant owning its own machine — the save/restore pairs are
+    independent, and an exception unwinding through both leaves each
+    machine at its own pre-entry sink. *)
 
 val now : t -> int
 (** Wall-clock position in cycles. *)

@@ -97,6 +97,9 @@ type t = {
   stats : Stats.Live.t;
   scan_hist : R.histogram; (* per-sweep scanned bytes distribution *)
   alloc_hist : R.histogram; (* malloc request sizes *)
+  pause_hist : R.histogram;
+      (* mutator-visible pause distribution: STW rescans and allocation
+         pauses — the fleet layer aggregates this across tenants *)
   unmapped_pages : (int, unit) Hashtbl.t; (* page index -> () *)
   par : par_telemetry option;
   stage_obs : stage_telemetry;
@@ -182,6 +185,7 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
       stats = Stats.Live.create registry;
       scan_hist = R.histogram registry "ms.sweep_scan_bytes";
       alloc_hist = R.histogram registry "ms.alloc_request_bytes";
+      pause_hist = R.histogram registry "ms.sweep_pause_cycles";
       unmapped_pages = Hashtbl.create 1024;
       par;
       stage_obs;
@@ -200,6 +204,11 @@ let create ?(config = Config.default) ?(threads = 1) ?obs machine =
   (* The surrounding layers publish their accounting into the same
      registry as read-through metrics — one export covers the stack. *)
   Vmem.attach_obs (mem t) registry;
+  (* Also publish the resident-set gauge under the instance namespace so
+     consumers that only see `ms.*` metrics (fleet aggregation, pressure
+     policies) can read RSS without knowing about the vmem layer. *)
+  R.derive_gauge registry "ms.vmem.committed_bytes" (fun () ->
+      Vmem.committed_bytes (mem t));
   (* Purge-stage accounting: every decommit the allocator performs while
      the Purge stage runs is one madvise-equivalent syscall. *)
   Vmem.set_decommit_observer (mem t) (fun ~addr:_ ~len ->
@@ -652,6 +661,7 @@ let finish_sweep t state =
     Sim.Clock.background t.machine.Alloc.Machine.clock scan_cycles;
     count t.stats.Stats.Live.stw_pauses 1;
     count t.stats.Stats.Live.stw_cycles pause;
+    R.Histogram.observe t.pause_hist pause;
     Ring.exit t.ring pending ~now:(now t) ~bytes:dirty_bytes
       ~attrs:[ ("sweep", sweep_number t); ("pause_cycles", pause) ]
       ();
@@ -941,6 +951,7 @@ let malloc t size =
       log_event t (Event_log.Allocation_paused { cycles = wait });
       count t.stats.Stats.Live.alloc_pauses 1;
       count t.stats.Stats.Live.alloc_pause_cycles wait;
+      R.Histogram.observe t.pause_hist wait;
       tick t
     end
   | None -> ());

@@ -1380,6 +1380,117 @@ let tail_latency env =
     ^ String.concat "\n" attack_lines
     ^ "\n\n" ^ verdict)
 
+let fleet_pressure env =
+  (* The noisy-neighbour scenario: one slow-leak tenant plus four steady
+     ones share a machine under the default physical budget. Each steady
+     tenant is also re-run in isolation on the very seed the fleet hands
+     it, so the arrival timelines are identical and any tail-latency
+     difference is machine interference, not load. *)
+  let backends = [ "minesweeper"; "minesweeper-mostly"; "markus"; "ffmalloc" ] in
+  let seed = 9100 in
+  let budget = Fleet.default_budget in
+  let table =
+    Report.Table.create
+      ~columns:
+        [
+          "backend/purge order"; "peak MiB"; "raw MiB"; "press"; "recl";
+          "kills"; "nbr stall p99"; "iso stall p99"; "fleet lat p99";
+        ]
+  in
+  let regressions = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  let mib b = float_of_int b /. (1024. *. 1024.) in
+  List.iter
+    (fun key ->
+      let scheme = scheme_of_key key in
+      let specs = Fleet.noisy_neighbour scheme in
+      let iso =
+        List.mapi
+          (fun i (spec : Fleet.tenant_spec) ->
+            if i = 0 then None (* the leaker is the perturbation, not a probe *)
+            else begin
+              if env.verbose then
+                Printf.eprintf "  [fleet-iso] %s/%s\n%!" key spec.Fleet.tname;
+              Some
+                (Workloads.Server.run ~scale:env.scale
+                   ~seed:(Sim.Rng.split_seed ~seed ~index:i)
+                   spec.Fleet.profile scheme)
+            end)
+          specs
+      in
+      List.iter
+        (fun order ->
+          if env.verbose then
+            Printf.eprintf "  [fleet] %s/%s\n%!" key
+              (Fleet.purge_order_name order);
+          let cfg = Fleet.config ~budget ~purge_order:order () in
+          let r = Fleet.run ~scale:env.scale ~seed cfg specs in
+          if r.Fleet.committed_peak > budget then
+            flag "%s/%s: committed peak %d bytes exceeds the %d-byte budget"
+              key (Fleet.purge_order_name order) r.Fleet.committed_peak budget;
+          let nbr_p99 = ref 0. and iso_p99 = ref 0. in
+          List.iteri
+            (fun i (tr : Fleet.tenant_result) ->
+              match List.nth iso i with
+              | None -> ()
+              | Some (base : Workloads.Server.result) ->
+                let fs = tr.Fleet.server in
+                if
+                  fs.Workloads.Server.arrivals
+                  <> base.Workloads.Server.arrivals
+                then
+                  flag "%s/%s: %s arrivals differ from isolation (loop closed)"
+                    key (Fleet.purge_order_name order) tr.Fleet.name;
+                let fp =
+                  fs.Workloads.Server.stall_latency.Workloads.Server.p99
+                in
+                let bp =
+                  base.Workloads.Server.stall_latency.Workloads.Server.p99
+                in
+                nbr_p99 := Float.max !nbr_p99 fp;
+                iso_p99 := Float.max !iso_p99 bp;
+                (* The acceptance property: a neighbour that absorbed
+                   interference must show it in its stall tail. Backends
+                   that inject nothing (ffmalloc never sweeps) are
+                   exempt from strictness. *)
+                if tr.Fleet.injected_stall_cycles > 0 && fp <= bp then
+                  flag
+                    "%s/%s: %s p99 stall %.0f not above isolation %.0f \
+                     despite %d injected cycles"
+                    key (Fleet.purge_order_name order) tr.Fleet.name fp bp
+                    tr.Fleet.injected_stall_cycles)
+            r.Fleet.tenants;
+          Report.Table.add_row table
+            (Printf.sprintf "%s/%s" key (Fleet.purge_order_name order))
+            [
+              mib r.Fleet.committed_peak; mib r.Fleet.committed_peak_raw;
+              float_of_int r.Fleet.pressure_events;
+              float_of_int r.Fleet.total_reclaims;
+              float_of_int r.Fleet.oom_kills; !nbr_p99; !iso_p99;
+              r.Fleet.agg_latency.Workloads.Server.p99;
+            ])
+        [ Fleet.Largest_quarantine; Fleet.Round_robin_purge ])
+    backends;
+  let verdict =
+    match !regressions with
+    | [] ->
+      "committed peak within budget for every backend and purge order, \
+       arrivals identical to isolation (open loop preserved across the \
+       fleet), neighbour p99 stall strictly above isolation wherever \
+       interference was injected\n"
+    | l -> Printf.sprintf "REGRESSION: %s\n" (String.concat "; " (List.rev l))
+  in
+  buf_figure
+    "Extension: multi-tenant fleet under a shared physical-page budget"
+    (Report.Table.render table
+    ^ "\none slow-leak tenant + 4 steady tenants per row; 'nbr stall p99' \
+       is the worst steady tenant's stall-latency tail inside the fleet, \
+       'iso stall p99' the same tenant alone on the machine (same seed, \
+       same arrivals); 'press'/'recl'/'kills' count pressure events, \
+       forced reclaims and OOM kills under the "
+    ^ string_of_int (Fleet.default_budget / (1024 * 1024))
+    ^ " MiB budget\n\n" ^ verdict)
+
 let all_figures =
   [
     ("fig1", fig1);
@@ -1408,4 +1519,5 @@ let all_figures =
     ("static-bounds", static_bounds);
     ("pooled-landscape", pooled_landscape);
     ("tail-latency", tail_latency);
+    ("fleet-pressure", fleet_pressure);
   ]

@@ -29,6 +29,7 @@ type metric =
 type t = { mutable entries : (string * metric) list }
 
 exception Duplicate of string
+exception Kind_mismatch of string
 
 let create () = { entries = [] }
 
@@ -86,6 +87,65 @@ let reset t =
         Atomic.set h.h_sum 0
       | Derived_counter _ | Derived_gauge _ -> ())
     t.entries
+
+(* Namespaced additive union: every metric of [src] lands in [into] under
+   [prefix ^ name]. Scalars merge by their kind's value (derived metrics
+   are sampled at merge time and materialise as plain cells); histograms
+   merge bucket-wise, preserving count and sum so quantiles over the
+   union stay exact at bucket granularity. Merging the same prefix twice
+   (or several sources under one prefix) therefore aggregates — the fleet
+   layer's cross-tenant quantiles are exactly this. Iteration follows
+   [metrics src] (sorted by name), so the result is deterministic
+   regardless of registration order. *)
+let merge_into ?(prefix = "") src ~into =
+  let add_counter name v =
+    match List.assoc_opt name into.entries with
+    | None ->
+      let c = { c_name = name; c_value = Atomic.make v } in
+      register into name (Counter c)
+    | Some (Counter c) -> ignore (Atomic.fetch_and_add c.c_value v)
+    | Some _ -> raise (Kind_mismatch name)
+  in
+  let add_gauge name v =
+    match List.assoc_opt name into.entries with
+    | None ->
+      let g = { g_name = name; g_value = Atomic.make v } in
+      register into name (Gauge g)
+    | Some (Gauge g) -> ignore (Atomic.fetch_and_add g.g_value v)
+    | Some _ -> raise (Kind_mismatch name)
+  in
+  let add_histogram name (h : histogram) =
+    let dst =
+      match List.assoc_opt name into.entries with
+      | None ->
+        let fresh =
+          { h_name = name;
+            h_buckets = Array.init log2_buckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0 }
+        in
+        register into name (Histogram fresh);
+        fresh
+      | Some (Histogram dst) -> dst
+      | Some _ -> raise (Kind_mismatch name)
+    in
+    for i = 0 to log2_buckets - 1 do
+      let n = Atomic.get h.h_buckets.(i) in
+      if n > 0 then ignore (Atomic.fetch_and_add dst.h_buckets.(i) n)
+    done;
+    ignore (Atomic.fetch_and_add dst.h_count (Atomic.get h.h_count));
+    ignore (Atomic.fetch_and_add dst.h_sum (Atomic.get h.h_sum))
+  in
+  List.iter
+    (fun (name, m) ->
+      let name = prefix ^ name in
+      match m with
+      | Counter c -> add_counter name (Atomic.get c.c_value)
+      | Derived_counter fn -> add_counter name (fn ())
+      | Gauge g -> add_gauge name (Atomic.get g.g_value)
+      | Derived_gauge fn -> add_gauge name (fn ())
+      | Histogram h -> add_histogram name h)
+    (metrics src)
 
 module Counter = struct
   let incr c n =

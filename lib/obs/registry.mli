@@ -32,6 +32,12 @@ type t
 exception Duplicate of string
 (** Raised when registering a name the registry already holds. *)
 
+exception Kind_mismatch of string
+(** Raised by {!merge_into} when a source metric collides with an
+    existing destination metric of a different kind (or with a derived
+    metric, which has no cell to merge into); carries the destination
+    name. *)
+
 val create : unit -> t
 
 val counter : t -> string -> counter
@@ -59,6 +65,28 @@ val read : t -> string -> int option
 val reset : t -> unit
 (** Zero every stored counter, gauge and histogram. Derived metrics
     read through to live state and are unaffected. *)
+
+val merge_into : ?prefix:string -> t -> into:t -> unit
+(** [merge_into ~prefix src ~into] folds every metric of [src] into
+    [into] under the name [prefix ^ name] (default prefix [""]) — the
+    fleet aggregator's building block. Merging is {e additive union}:
+
+    - counters (and sampled derived counters) add their value into a
+      plain counter, created if absent;
+    - gauges (and sampled derived gauges) add into a plain gauge —
+      levels sum across processes; note a high-watermark gauge's sum
+      over-approximates the true union watermark;
+    - histograms add {e bucket-wise}, including observation count and
+      sum, so quantiles over the merged histogram are exact at bucket
+      granularity.
+
+    Derived metrics are sampled once at merge time and materialise as
+    plain cells in [into]; [src] is never mutated. Name collisions with
+    a same-kind destination metric aggregate as above (merging several
+    sources under one prefix is how cross-tenant quantiles are built);
+    collisions with a different kind — or with any derived destination —
+    raise {!Kind_mismatch}. Source metrics are processed in sorted name
+    order, so the result is deterministic. *)
 
 module Counter : sig
   val incr : counter -> int -> unit

@@ -26,6 +26,7 @@ type t = {
   mutable demand_commit_hook : pages:int -> unit;
   mutable generation : int; (* current scan generation (see mli) *)
   mutable write_observer : (addr:int -> value:int -> gen:int -> unit) option;
+  mutable commit_observer : (addr:int -> len:int -> unit) option;
   mutable decommit_observer : (addr:int -> len:int -> unit) option;
 }
 
@@ -36,6 +37,7 @@ let create () =
     demand_commit_hook = (fun ~pages:_ -> ());
     generation = 0;
     write_observer = None;
+    commit_observer = None;
     decommit_observer = None;
   }
 
@@ -48,8 +50,15 @@ let advance_generation t =
 let set_demand_commit_hook t f = t.demand_commit_hook <- f
 let set_write_observer t f = t.write_observer <- Some f
 let clear_write_observer t = t.write_observer <- None
+let set_commit_observer t f = t.commit_observer <- Some f
+let clear_commit_observer t = t.commit_observer <- None
 let set_decommit_observer t f = t.decommit_observer <- Some f
 let clear_decommit_observer t = t.decommit_observer <- None
+
+let notify_commit t ~addr ~len =
+  match t.commit_observer with
+  | None -> ()
+  | Some f -> f ~addr ~len
 
 let page_index addr = addr / page_size
 let page_base addr = addr - (addr mod page_size)
@@ -75,7 +84,8 @@ let map t ~addr ~len =
           prot = Read_write;
           soft_dirty = false;
           write_gen = t.generation };
-      t.committed <- t.committed + page_size)
+      t.committed <- t.committed + page_size);
+  notify_commit t ~addr ~len
 
 let unmap t ~addr ~len =
   check_page_range addr len;
@@ -108,11 +118,12 @@ let decommit t ~addr ~len =
         t.committed <- t.committed - page_size
       end)
 
-let commit_page t p =
+let commit_page t i p =
   if p.data = None then begin
     p.data <- Some (Bytes.make page_size '\000');
     p.write_gen <- t.generation;
-    t.committed <- t.committed + page_size
+    t.committed <- t.committed + page_size;
+    notify_commit t ~addr:(i * page_size) ~len:page_size
   end
 
 let commit t ~addr ~len =
@@ -120,7 +131,7 @@ let commit t ~addr ~len =
   iter_page_indices ~addr ~len (fun i ->
       match Hashtbl.find_opt t.pages i with
       | None -> raise (Fault (Unmapped_access, i * page_size))
-      | Some p -> commit_page t p)
+      | Some p -> commit_page t i p)
 
 let protect t ~addr ~len prot =
   check_page_range addr len;
@@ -150,7 +161,7 @@ let readable_page t addr =
   | No_access -> raise (Fault (Protection_violation, addr))
   | Read_only | Read_write -> ());
   if p.data = None then begin
-    commit_page t p;
+    commit_page t (page_index addr) p;
     t.demand_commit_hook ~pages:1
   end;
   p
@@ -161,7 +172,7 @@ let writable_page t addr =
   | No_access | Read_only -> raise (Fault (Protection_violation, addr))
   | Read_write -> ());
   if p.data = None then begin
-    commit_page t p;
+    commit_page t (page_index addr) p;
     t.demand_commit_hook ~pages:1
   end;
   p
@@ -301,11 +312,13 @@ let iter_soft_dirty_pages t f =
 (* Publish the address-space accounting as read-through metrics: the
    registry consults these at export time, so the hot paths above carry
    no extra bookkeeping. *)
-let attach_obs t reg =
-  Obs.Registry.derive_gauge reg "vmem.committed_bytes" (fun () ->
+let attach_obs ?(prefix = "") t reg =
+  let n name = prefix ^ name in
+  Obs.Registry.derive_gauge reg (n "vmem.committed_bytes") (fun () ->
       committed_bytes t);
-  Obs.Registry.derive_gauge reg "vmem.mapped_bytes" (fun () -> mapped_bytes t);
-  Obs.Registry.derive_gauge reg "vmem.readable_bytes" (fun () ->
+  Obs.Registry.derive_gauge reg (n "vmem.mapped_bytes") (fun () ->
+      mapped_bytes t);
+  Obs.Registry.derive_gauge reg (n "vmem.readable_bytes") (fun () ->
       readable_bytes t);
-  Obs.Registry.derive_counter reg "vmem.scan_generation" (fun () ->
+  Obs.Registry.derive_counter reg (n "vmem.scan_generation") (fun () ->
       generation t)

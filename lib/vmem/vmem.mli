@@ -52,6 +52,18 @@ val set_write_observer :
 
 val clear_write_observer : t -> unit
 
+val set_commit_observer : t -> (addr:int -> len:int -> unit) -> unit
+(** Observe every transition of pages to the committed (resident) state:
+    fresh {!map}s, explicit {!commit}s, and demand-commits triggered by
+    access to a decommitted page. The callback fires after the pages are
+    resident, so [committed_bytes] already reflects them. The mirror of
+    {!set_decommit_observer} — together the two observers see every
+    change to the resident set, which is how the fleet layer
+    ({!Fleet.Machine}) tracks a machine-wide physical-page budget across
+    tenant address spaces; at most one observer is active. *)
+
+val clear_commit_observer : t -> unit
+
 val set_decommit_observer : t -> (addr:int -> len:int -> unit) -> unit
 (** Observe every {!decommit} of a page-aligned range, before the backing
     is dropped. Used by the sweep pipeline's Purge stage to account
@@ -173,8 +185,14 @@ val iter_soft_dirty_pages : t -> (int -> unit) -> unit
     skipped: a re-scan has nothing to read there, so counting them would
     overstate the stop-the-world pause. *)
 
-val attach_obs : t -> Obs.Registry.t -> unit
+val attach_obs : ?prefix:string -> t -> Obs.Registry.t -> unit
 (** Register read-through metrics ([vmem.committed_bytes],
     [vmem.mapped_bytes], [vmem.readable_bytes], [vmem.scan_generation])
-    in the registry. Raises {!Obs.Registry.Duplicate} if another address
-    space already claimed them there. *)
+    in the registry, each name prepended with [prefix] (default [""]).
+    Read-through means the gauges consult the live accounting at export
+    time — commit and decommit round-trip the gauge back to its prior
+    value with no extra bookkeeping on the hot paths. A namespaced
+    [prefix] (e.g. ["ms."] for an instance, ["fleet.t3."] for a fleet
+    tenant) lets several address spaces publish into one registry.
+    Raises {!Obs.Registry.Duplicate} if the prefixed names are already
+    claimed there. *)

@@ -61,6 +61,13 @@ type t = {
   free : thread:int -> int -> unit;
   tick : unit -> unit;
   drain : unit -> unit;
+  reclaim : unit -> unit;
+      (** release memory now: force a sweep/purge cycle regardless of
+          thresholds — the lever a machine-wide RSS-pressure policy
+          (fleet layer) pulls on a tenant *)
+  quarantine_bytes : unit -> int;
+      (** bytes currently held back from reuse (quarantine / deferred /
+          pending), 0 for schemes with no retention *)
   live_bytes : unit -> int;
   metadata_bytes : unit -> int;
   cold_penalty : int -> int;
@@ -110,6 +117,11 @@ let build scheme ~threads machine =
                 Alloc.Jemalloc.purge_tick je)
           end);
       drain = (fun () -> ());
+      reclaim =
+        (fun () ->
+          Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+              Alloc.Jemalloc.purge_all je));
+      quarantine_bytes = (fun () -> 0);
       live_bytes = (fun () -> Alloc.Jemalloc.live_bytes je);
       metadata_bytes = (fun () -> 0);
       cold_penalty = cold_penalty_fn machine 0.0;
@@ -142,6 +154,13 @@ let build scheme ~threads machine =
       free = (fun ~thread addr -> Minesweeper.Instance.free ms ~thread addr);
       tick = (fun () -> Minesweeper.Instance.tick ms);
       drain = (fun () -> Minesweeper.Instance.drain ms);
+      reclaim =
+        (fun () ->
+          (* Start a sweep even below threshold, then force-finish it:
+             the pipeline's release+purge stages hand pages back. *)
+          ignore (Minesweeper.Instance.force_sweep ms : bool);
+          Minesweeper.Instance.drain ms);
+      quarantine_bytes = (fun () -> Minesweeper.Instance.quarantine_bytes ms);
       live_bytes =
         (fun () ->
           Alloc.Jemalloc.live_bytes (Minesweeper.Instance.jemalloc ms));
@@ -216,6 +235,12 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Markus.free mk addr);
       tick = (fun () -> Markus.tick mk);
       drain = (fun () -> Markus.drain mk);
+      reclaim =
+        (fun () ->
+          Markus.drain mk;
+          Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+              Alloc.Jemalloc.purge_all (Markus.jemalloc mk)));
+      quarantine_bytes = (fun () -> Markus.quarantine_bytes mk);
       live_bytes = (fun () -> Alloc.Jemalloc.live_bytes (Markus.jemalloc mk));
       metadata_bytes = (fun () -> 0);
       cold_penalty = cold_penalty_fn machine 1.15;
@@ -248,6 +273,11 @@ let build scheme ~threads machine =
                 Alloc.Scudo.purge_tick sc)
           end);
       drain = (fun () -> ());
+      reclaim =
+        (fun () ->
+          Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+              Alloc.Scudo.purge_all sc));
+      quarantine_bytes = (fun () -> 0);
       live_bytes = (fun () -> Alloc.Scudo.live_bytes sc);
       metadata_bytes = (fun () -> 0);
       (* The randomisation pool delays some reuse: a small cold share. *)
@@ -274,6 +304,11 @@ let build scheme ~threads machine =
       free = (fun ~thread addr -> Scudo_ms.free ms ~thread addr);
       tick = (fun () -> Scudo_ms.tick ms);
       drain = (fun () -> Scudo_ms.drain ms);
+      reclaim =
+        (fun () ->
+          ignore (Scudo_ms.force_sweep ms : bool);
+          Scudo_ms.drain ms);
+      quarantine_bytes = (fun () -> Scudo_ms.quarantine_bytes ms);
       live_bytes = (fun () -> Scudo_ms.live_bytes ms);
       metadata_bytes =
         (fun () ->
@@ -299,6 +334,11 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Alloc.Dlmalloc.free dl addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
+      reclaim =
+        (fun () ->
+          Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+              Alloc.Dlmalloc.purge_all dl));
+      quarantine_bytes = (fun () -> 0);
       live_bytes = (fun () -> Alloc.Dlmalloc.live_bytes dl);
       metadata_bytes = (fun () -> 0) (* metadata lives in-band *);
       cold_penalty = cold_penalty_fn machine 0.0;
@@ -327,6 +367,11 @@ let build scheme ~threads machine =
       free = (fun ~thread addr -> Dl_ms.free ms ~thread addr);
       tick = (fun () -> Dl_ms.tick ms);
       drain = (fun () -> Dl_ms.drain ms);
+      reclaim =
+        (fun () ->
+          ignore (Dl_ms.force_sweep ms : bool);
+          Dl_ms.drain ms);
+      quarantine_bytes = (fun () -> Dl_ms.quarantine_bytes ms);
       live_bytes = (fun () -> Dl_ms.live_bytes ms);
       metadata_bytes =
         (fun () ->
@@ -352,6 +397,8 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Ptrtrack.Crcount.free cr addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
+      reclaim = (fun () -> ());
+      quarantine_bytes = (fun () -> Ptrtrack.Crcount.pending_bytes cr);
       live_bytes = (fun () -> Ptrtrack.Crcount.live_bytes cr);
       metadata_bytes = (fun () -> Ptrtrack.Crcount.metadata_bytes cr);
       cold_penalty = cold_penalty_fn machine 0.2;
@@ -378,6 +425,8 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Ptrtrack.Psweeper.free ps addr);
       tick = (fun () -> Ptrtrack.Psweeper.tick ps);
       drain = (fun () -> Ptrtrack.Psweeper.drain ps);
+      reclaim = (fun () -> Ptrtrack.Psweeper.drain ps);
+      quarantine_bytes = (fun () -> Ptrtrack.Psweeper.deferred_bytes ps);
       live_bytes = (fun () -> Ptrtrack.Psweeper.live_bytes ps);
       metadata_bytes = (fun () -> Ptrtrack.Psweeper.metadata_bytes ps);
       cold_penalty = cold_penalty_fn machine 0.4;
@@ -407,6 +456,8 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Ptrtrack.Dangsan.free ds addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
+      reclaim = (fun () -> ());
+      quarantine_bytes = (fun () -> 0);
       live_bytes = (fun () -> Ptrtrack.Dangsan.live_bytes ds);
       metadata_bytes = (fun () -> Ptrtrack.Dangsan.metadata_bytes ds);
       cold_penalty = cold_penalty_fn machine 0.1;
@@ -433,6 +484,8 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Ffmalloc.free ff addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
+      reclaim = (fun () -> ()) (* never reuses: nothing held back to purge *);
+      quarantine_bytes = (fun () -> 0);
       live_bytes = (fun () -> Ffmalloc.live_bytes ff);
       metadata_bytes = (fun () -> 0);
       cold_penalty = cold_penalty_fn machine 0.05;
@@ -465,6 +518,11 @@ let build scheme ~threads machine =
       free = (fun ~thread:_ addr -> Alloc.Poolalloc.free pa addr);
       tick = (fun () -> ());
       drain = (fun () -> ());
+      reclaim =
+        (fun () ->
+          Alloc.Machine.with_sink machine Alloc.Machine.Background (fun () ->
+              Alloc.Poolalloc.purge_all pa));
+      quarantine_bytes = (fun () -> Alloc.Poolalloc.retired_bytes pa);
       live_bytes = (fun () -> Alloc.Poolalloc.live_bytes pa);
       metadata_bytes = (fun () -> 0);
       (* Segregation delays spatial reuse a little; far milder than a

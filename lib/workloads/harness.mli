@@ -51,6 +51,18 @@ type t = {
   free : thread:int -> int -> unit;
   tick : unit -> unit;
   drain : unit -> unit;
+  reclaim : unit -> unit;
+      (** release memory now, regardless of thresholds: sweeper schemes
+          force a sweep cycle and finish it (release + purge stages hand
+          pages back), allocators purge their page caches. The lever a
+          machine-wide RSS-pressure policy ({!Fleet}) pulls on a tenant;
+          a no-op for schemes that retain nothing reclaimable
+          (ffmalloc's one-way address consumption). *)
+  quarantine_bytes : unit -> int;
+      (** bytes currently held back from reuse (quarantine, deferred
+          frees, pending invalidations); 0 for schemes with no
+          retention. Drives largest-quarantine-first purge ordering and
+          per-tenant quarantine budgets. *)
   live_bytes : unit -> int;
   metadata_bytes : unit -> int;
       (** resident metadata beyond the simulated pages (shadow map,

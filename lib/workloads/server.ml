@@ -173,6 +173,9 @@ type session = {
   mutable dangling : int;
   mutable max_depth : int;
   mutable oom : bool;
+  mutable external_stall : (unit -> int) option;
+      (* machine-level interference: cycles of stall to charge inside the
+         next request's measurement window (fleet neighbour pressure) *)
 }
 
 let machine (s : session) = s.stack.Harness.machine
@@ -240,10 +243,14 @@ let start ?(rss_limit = 768 * 1024 * 1024) ?seed sp (stack : Harness.t) =
     dangling = 0;
     max_depth = 0;
     oom = false;
+    external_stall = None;
   }
+
+let set_external_stall s f = s.external_stall <- Some f
 
 let total_requests s = Array.length s.arrivals
 let served s = s.completed
+let registry s = s.reg
 
 (* Driver.static_rss is not exported; the server family carries the same
    whole-process constant so RSS figures are comparable across drivers. *)
@@ -296,6 +303,17 @@ let serve_one s k =
   let w0 = Sim.Clock.wall (clock s) in
   let st0 = Sim.Clock.stalled (clock s) in
   Obs.Registry.Counter.incr s.c_requests 1;
+  (* Neighbour interference lands inside the measurement window (after
+     w0/st0 are read) so it flows into sv and st below, and from there
+     into the latency and stall-latency Lindley recursions — an open-loop
+     client cannot tell whose sweep delayed its request. *)
+  (match s.external_stall with
+  | None -> ()
+  | Some f ->
+    let n = f () in
+    if n > 0 then
+      Alloc.Machine.with_sink (machine s) Alloc.Machine.Stall (fun () ->
+          Alloc.Machine.charge (machine s) n));
   if s.sp.connection_every > 0 && k mod s.sp.connection_every = 0 then
     open_connection s;
   (* Per-request arena. *)

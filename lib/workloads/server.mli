@@ -109,6 +109,21 @@ val start : ?rss_limit:int -> ?seed:int -> profile -> Harness.t -> session
 val total_requests : session -> int
 val served : session -> int
 
+val registry : session -> Obs.Registry.t
+(** The registry the [srv.*] metrics live in: the stack's own registry
+    when it has one, otherwise the private one the session created. The
+    fleet aggregator merges these across tenants. *)
+
+val set_external_stall : session -> (unit -> int) -> unit
+(** Install a machine-interference feed: before serving each request the
+    session asks the callback for stall cycles to charge (sink [Stall])
+    {e inside} the request's measurement window, so they surface in the
+    [srv.latency] and [srv.stall_latency] quantiles and compound through
+    the queueing recursion like any other stall. The fleet scheduler uses
+    this to make one tenant's STW sweep visible in its neighbours'
+    tails; the callback must be deterministic for exports to stay
+    byte-identical. *)
+
 val step : session -> bool
 (** Serve the next request; [false] once the timeline is exhausted (or
     the memory budget was exceeded — never raises). *)

@@ -67,6 +67,7 @@ let test_figure_list_complete () =
       "scudo"; "ptrtrack"; "ablation-threshold"; "ablation-granule";
       "ablation-helpers"; "incremental-sweep"; "parallel-mark";
       "sweep-pipeline"; "static-bounds"; "pooled-landscape"; "tail-latency";
+      "fleet-pressure";
     ]
     (List.map fst Experiments.all_figures)
 

@@ -52,6 +52,37 @@ let test_nested_sink_restored () =
   Alcotest.(check bool) "outer unwind restores App" true
     (m.Alloc.Machine.sink = Alloc.Machine.App)
 
+let test_cross_machine_sinks () =
+  (* The sink is per-machine state: two machines whose with_sink scopes
+     interleave (as fleet tenants' do, one step per scheduling quantum)
+     must save/restore independently, including when an exception
+     unwinds one machine's scope while the other is mid-switch. *)
+  let a = Alloc.Machine.create () and b = Alloc.Machine.create () in
+  Alloc.Machine.with_sink a Alloc.Machine.Background (fun () ->
+      (try
+         Alloc.Machine.with_sink b Alloc.Machine.Stall (fun () ->
+             Alloc.Machine.charge a 3;
+             Alloc.Machine.charge b 5;
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "b restored to App by its own unwind" true
+        (b.Alloc.Machine.sink = Alloc.Machine.App);
+      Alcotest.(check bool) "a untouched by b's unwind" true
+        (a.Alloc.Machine.sink = Alloc.Machine.Background);
+      Alloc.Machine.charge a 4;
+      Alloc.Machine.charge b 6);
+  Alcotest.(check int) "a charges all background" 7
+    (Sim.Clock.background_busy a.Alloc.Machine.clock);
+  Alcotest.(check int) "a never stalled" 0
+    (Sim.Clock.stalled a.Alloc.Machine.clock);
+  Alcotest.(check int) "b stalled only inside its scope" 5
+    (Sim.Clock.stalled b.Alloc.Machine.clock);
+  Alcotest.(check int) "b's post-unwind charge is app time" 6
+    (Sim.Clock.app_busy b.Alloc.Machine.clock);
+  Alcotest.(check bool) "both end at App" true
+    (a.Alloc.Machine.sink = Alloc.Machine.App
+    && b.Alloc.Machine.sink = Alloc.Machine.App)
+
 let test_charge_bytes () =
   let m = Alloc.Machine.create () in
   Alloc.Machine.charge_bytes m 0.5 1000;
@@ -92,6 +123,8 @@ let suite =
       Alcotest.test_case "sink restored on exception" `Quick test_sink_restored;
       Alcotest.test_case "nested sink restored on exception" `Quick
         test_nested_sink_restored;
+      Alcotest.test_case "cross-machine sinks independent" `Quick
+        test_cross_machine_sinks;
       Alcotest.test_case "charge_bytes" `Quick test_charge_bytes;
       Alcotest.test_case "demand commit charges fault" `Quick
         test_demand_commit_charges_fault;

@@ -86,6 +86,60 @@ let test_registry_basics () =
   Alcotest.(check (option int))
     "derived reads through reset" (Some 7) (R.read reg "c.derived")
 
+let test_merge_into () =
+  let src = R.create () in
+  let c = R.counter src "reqs" in
+  let g = R.gauge src "depth" in
+  let h = R.histogram src "lat" in
+  R.derive_gauge src "derived" (fun () -> 11);
+  R.Counter.incr c 5;
+  R.Gauge.set g 9;
+  List.iter (R.Histogram.observe h) [ 1; 3; 100 ];
+  let into = R.create () in
+  (* Fresh names: merge creates plain cells carrying the values. *)
+  R.merge_into ~prefix:"t0." src ~into;
+  Alcotest.(check (option int)) "counter copied" (Some 5)
+    (R.read into "t0.reqs");
+  Alcotest.(check (option int)) "derived sampled into a plain gauge"
+    (Some 11) (R.read into "t0.derived");
+  (* Merging a second source under the SAME prefix is additive —
+     counters and gauges add, histograms add bucket-wise. *)
+  let src2 = R.create () in
+  let c2 = R.counter src2 "reqs" in
+  let h2 = R.histogram src2 "lat" in
+  R.Counter.incr c2 7;
+  List.iter (R.Histogram.observe h2) [ 3; 200_000 ];
+  R.merge_into ~prefix:"t0." src2 ~into;
+  Alcotest.(check (option int)) "counter collision adds" (Some 12)
+    (R.read into "t0.reqs");
+  (match R.find into "t0.lat" with
+  | Some (R.Histogram mh) ->
+    Alcotest.(check int) "histogram count adds" 5 (R.Histogram.count mh);
+    Alcotest.(check int) "histogram sum adds" 200_107 (R.Histogram.sum mh);
+    let expect v n =
+      (* buckets are (lower_bound, count) pairs *)
+      let lb = R.Histogram.lower_bound (R.Histogram.bucket_of v) in
+      let got =
+        try List.assoc lb (R.Histogram.buckets mh) with Not_found -> 0
+      in
+      Alcotest.(check int) (Printf.sprintf "bucket of %d" v) n got
+    in
+    expect 1 1;
+    expect 3 2;
+    expect 100 1;
+    expect 200_000 1
+  | _ -> Alcotest.fail "t0.lat should be a merged histogram");
+  (* A name collision across KINDS is a caller bug, not data. *)
+  let bad = R.create () in
+  ignore (R.counter bad "depth");
+  Alcotest.check_raises "kind mismatch rejected" (R.Kind_mismatch "t0.depth")
+    (fun () -> R.merge_into ~prefix:"t0." bad ~into);
+  (* Merge output is deterministic: names come out sorted. *)
+  Alcotest.(check (list string))
+    "merged names sorted"
+    [ "t0.depth"; "t0.derived"; "t0.lat"; "t0.reqs" ]
+    (R.names into)
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring                                                         *)
 
@@ -455,6 +509,8 @@ let suite =
       Alcotest.test_case "histogram observe/sum/buckets" `Quick
         test_histogram_observe;
       Alcotest.test_case "registry basics" `Quick test_registry_basics;
+      Alcotest.test_case "merge_into: namespaced additive union" `Quick
+        test_merge_into;
       Alcotest.test_case "ring overflow evicts oldest" `Quick
         test_ring_overflow;
       Alcotest.test_case "ring enter/exit" `Quick test_ring_enter_exit;

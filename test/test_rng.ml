@@ -21,6 +21,38 @@ let test_split_independent () =
   let parent_values = List.init 10 (fun _ -> Sim.Rng.next parent) in
   Alcotest.(check bool) "streams differ" true (child_values <> parent_values)
 
+let test_split_seed_streams () =
+  (* The fleet derives every tenant's (and repeat's) seed with
+     split_seed: the derived streams must be pairwise distinct and the
+     derivation itself deterministic, or per-tenant traffic would be
+     correlated (or irreproducible) across the machine. *)
+  let streams = 8 and prefix = 16 in
+  let derive () =
+    List.init streams (fun index ->
+        let rng = Sim.Rng.create (Sim.Rng.split_seed ~seed:9100 ~index) in
+        List.init prefix (fun _ -> Sim.Rng.next rng))
+  in
+  let first = derive () in
+  Alcotest.(check bool) "derivation deterministic" true (first = derive ());
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d and %d differ" i j)
+              true (a <> b))
+        first)
+    first;
+  let parent = Sim.Rng.create 9100 in
+  let parent_prefix = List.init prefix (fun _ -> Sim.Rng.next parent) in
+  List.iteri
+    (fun i a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stream %d differs from parent seed's stream" i)
+        true (a <> parent_prefix))
+    first
+
 let test_non_negative () =
   let rng = Sim.Rng.create 3 in
   for _ = 1 to 1000 do
@@ -72,6 +104,8 @@ let suite =
       Alcotest.test_case "deterministic" `Quick test_deterministic;
       Alcotest.test_case "seed changes stream" `Quick test_seed_changes_stream;
       Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "split_seed streams independent" `Quick
+        test_split_seed_streams;
       Alcotest.test_case "non-negative" `Quick test_non_negative;
       Alcotest.test_case "uniformity" `Quick test_uniformity;
       QCheck_alcotest.to_alcotest prop_int_bounds;

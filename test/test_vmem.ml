@@ -203,6 +203,63 @@ let test_iter_readable_pages () =
     sorted;
   Alcotest.(check int) "readable bytes" (2 * page) (Vmem.readable_bytes m)
 
+let test_commit_observer () =
+  let m = Vmem.create () in
+  let events = ref [] in
+  Vmem.set_commit_observer m (fun ~addr ~len -> events := (addr, len) :: !events);
+  Vmem.map m ~addr:base ~len:(2 * page);
+  Alcotest.(check (list (pair int int)))
+    "map commits the whole run in one event"
+    [ (base, 2 * page) ]
+    (List.rev !events);
+  (* Recommitting resident pages is a no-op and must stay silent. *)
+  Vmem.commit m ~addr:base ~len:page;
+  Alcotest.(check int) "no event for already-committed pages" 1
+    (List.length !events);
+  Vmem.decommit m ~addr:base ~len:page;
+  ignore (Vmem.load m base);
+  Alcotest.(check (pair int int)) "demand commit fires page-granular"
+    (base, page) (List.hd !events);
+  Vmem.clear_commit_observer m;
+  Vmem.decommit m ~addr:base ~len:page;
+  Vmem.commit m ~addr:base ~len:page;
+  Alcotest.(check int) "cleared observer is silent" 2 (List.length !events)
+
+let test_committed_bytes_gauge () =
+  (* Satellite: the read-through gauge must round-trip to exactly zero
+     after committed pages are decommitted again — the fleet budget
+     accounting leans on this invariant. *)
+  let m = Vmem.create () in
+  let reg = Obs.Registry.create () in
+  Vmem.attach_obs m reg;
+  let read name =
+    match Obs.Registry.read reg name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  Alcotest.(check int) "empty space commits nothing" 0
+    (read "vmem.committed_bytes");
+  Vmem.map m ~addr:base ~len:(4 * page);
+  Alcotest.(check int) "map commits eagerly" (4 * page)
+    (read "vmem.committed_bytes");
+  Vmem.decommit m ~addr:base ~len:(4 * page);
+  Alcotest.(check int) "decommit returns the gauge to zero" 0
+    (read "vmem.committed_bytes");
+  ignore (Vmem.load m base);
+  Alcotest.(check int) "demand commit is one page" page
+    (read "vmem.committed_bytes");
+  Vmem.decommit m ~addr:base ~len:(4 * page);
+  Alcotest.(check int) "round-trips to zero again" 0
+    (read "vmem.committed_bytes");
+  (* A second address space shares the registry under a prefix. *)
+  let m2 = Vmem.create () in
+  Vmem.attach_obs ~prefix:"t1." m2 reg;
+  Vmem.map m2 ~addr:base ~len:page;
+  Alcotest.(check int) "prefixed gauge tracks the other space" page
+    (read "t1.vmem.committed_bytes");
+  Alcotest.(check int) "unprefixed gauge unaffected" 0
+    (read "vmem.committed_bytes")
+
 let prop_store_load_roundtrip =
   QCheck.Test.make ~name:"store/load round-trips any word" ~count:300
     QCheck.(pair (int_range 0 511) (int_range 0 max_int))
@@ -235,5 +292,8 @@ let suite =
       Alcotest.test_case "iter skips protected/decommitted" `Quick
         test_iter_skips_protected_and_decommitted;
       Alcotest.test_case "iter readable pages" `Quick test_iter_readable_pages;
+      Alcotest.test_case "commit observer" `Quick test_commit_observer;
+      Alcotest.test_case "committed-bytes gauge round-trip" `Quick
+        test_committed_bytes_gauge;
       QCheck_alcotest.to_alcotest prop_store_load_roundtrip;
     ] )
